@@ -1,0 +1,198 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Beyond the paper's own figures:
+
+* **token depth**: the paper evaluates 0 and 1 initial tokens; we sweep
+  deeper buckets to show diminishing/negative returns from letting the
+  A-stream run further ahead.
+* **SI drain rate**: the paper fixes one line per 4 cycles; sweep it.
+* **deviation-check grace**: the cost of over-eager recovery.
+* **store conversion**: disabling the skipped-store -> exclusive-prefetch
+  conversion isolates its contribution.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import pytest
+from common import once
+
+from repro.config import scaled_config
+from repro.experiments.driver import run_mode
+from repro.slipstream.arsync import ARSyncPolicy, G1
+from repro.workloads import make
+
+
+def test_token_depth_sweep(benchmark):
+    def experiment():
+        config = scaled_config(8)
+        single = run_mode(make("sor"), config, "single").exec_cycles
+        series = {}
+        for tokens in (0, 1, 2, 4):
+            policy = ARSyncPolicy(f"L{tokens}", "local", tokens)
+            slip = run_mode(make("sor"), config, "slipstream",
+                            policy=policy).exec_cycles
+            series[tokens] = single / slip
+        return series
+
+    series = once(benchmark, experiment)
+    print("\nAblation (token depth, sor@8): " +
+          " ".join(f"{k}tok={v:.2f}" for k, v in series.items()))
+    assert all(v > 0 for v in series.values())
+
+
+def test_si_drain_rate_sweep(benchmark):
+    def experiment():
+        series = {}
+        for interval in (1, 4, 16, 64):
+            config = scaled_config(8, si_drain_interval=interval)
+            result = run_mode(make("cg"), config, "slipstream",
+                              policy=G1, si=True)
+            series[interval] = result.exec_cycles
+        return series
+
+    series = once(benchmark, experiment)
+    print("\nAblation (SI drain interval, cg@8): " +
+          " ".join(f"{k}cyc={v}" for k, v in series.items()))
+    # Draining 64x slower must not be faster than the paper's rate.
+    assert series[64] >= series[4] * 0.95
+
+
+def test_deviation_grace_ablation(benchmark):
+    """With zero grace (the paper's literal check), lockstep ties cause
+    spurious recoveries; the run must still complete correctly."""
+
+    def experiment():
+        strict = scaled_config(4, deviation_lag_sessions=0)
+        relaxed = scaled_config(4)
+        out = {}
+        out["strict"] = run_mode(make("sor"), strict, "slipstream",
+                                 policy=G1)
+        out["relaxed"] = run_mode(make("sor"), relaxed, "slipstream",
+                                  policy=G1)
+        return {k: (v.exec_cycles, v.recoveries) for k, v in out.items()}
+
+    result = once(benchmark, experiment)
+    print(f"\nAblation (deviation grace, sor@4): strict="
+          f"{result['strict']}, relaxed={result['relaxed']}")
+    assert result["relaxed"][1] == 0
+
+
+def test_adaptive_policy_vs_static(benchmark):
+    """Extension (paper Section 6 future work): dynamic A-R policy
+    selection should be competitive with the best static policy without
+    knowing it in advance."""
+
+    def experiment():
+        config = scaled_config(8)
+        single = run_mode(make("ocean"), config, "single").exec_cycles
+        out = {}
+        from repro.slipstream.arsync import POLICIES
+        for policy in POLICIES:
+            slip = run_mode(make("ocean"), config, "slipstream",
+                            policy=policy).exec_cycles
+            out[policy.name] = single / slip
+        adaptive = run_mode(make("ocean"), config, "slipstream",
+                            policy=POLICIES[0], adaptive=True)
+        out["adaptive"] = single / adaptive.exec_cycles
+        out["switches"] = adaptive.policy_switches
+        return out
+
+    series = once(benchmark, experiment)
+    print("\nAblation (adaptive policy, ocean@8): " +
+          " ".join(f"{k}={v if k == 'switches' else round(v, 2)}"
+                   for k, v in series.items()))
+    static_best = max(v for k, v in series.items()
+                      if k not in ("adaptive", "switches"))
+    static_worst = min(v for k, v in series.items()
+                       if k not in ("adaptive", "switches"))
+    # Chosen online with no oracle: must stay within 15% of the best
+    # static policy and never fall below the worst one (see the known
+    # limitation note in repro.slipstream.adaptive).
+    assert series["adaptive"] > 0.85 * static_best
+    assert series["adaptive"] >= static_worst * 0.98
+
+
+def test_pattern_forwarding_extension(benchmark):
+    """Extension (paper Section 6 main future work): explicit A->R access
+    pattern forwarding re-fetches lost/transparent copies early."""
+
+    def experiment():
+        from repro.slipstream.arsync import G1
+        config = scaled_config(16)
+        single = run_mode(make("mg"), config, "single").exec_cycles
+        base = run_mode(make("mg"), config, "slipstream", policy=G1,
+                        si=True).exec_cycles
+        fwd = run_mode(make("mg"), config, "slipstream", policy=G1,
+                       si=True, forwarding=True)
+        return {"slip+si": single / base,
+                "slip+si+fwd": single / fwd.exec_cycles,
+                "prefetches": fwd.forwarded_prefetches}
+
+    series = once(benchmark, experiment)
+    print("\nAblation (pattern forwarding, mg@16): " + str(series))
+    assert series["slip+si+fwd"] >= series["slip+si"] * 0.98
+
+
+def test_speculative_barrier_replay_negative_result(benchmark):
+    """Extension negative result: replaying the next session's pattern at
+    barrier ENTRY (overlapping the wait) issues more prefetches but loses
+    to plain session-entry forwarding — the prefetches are premature, the
+    exact hazard the A-R token protocol exists to prevent."""
+
+    def experiment():
+        from repro.slipstream.arsync import G1
+        config = scaled_config(16)
+        single = run_mode(make("mg"), config, "single").exec_cycles
+        plain = run_mode(make("mg"), config, "slipstream", policy=G1,
+                         si=True, forwarding=True)
+        spec = run_mode(make("mg"), config, "slipstream", policy=G1,
+                        si=True, speculative_barriers=True)
+        return {"forwarding": single / plain.exec_cycles,
+                "speculative": single / spec.exec_cycles,
+                "fwd_prefetches": plain.forwarded_prefetches,
+                "spec_prefetches": spec.forwarded_prefetches}
+
+    series = once(benchmark, experiment)
+    print("\nAblation (speculative barrier replay, mg@16): " + str(series))
+    assert series["spec_prefetches"] > series["fwd_prefetches"]
+
+
+def test_migratory_sharing_optimization(benchmark):
+    """Extension (paper Section 5 pointer [10]): directory-detected
+    migratory sharing grants exclusive ownership on reads."""
+
+    def experiment():
+        config = scaled_config(8)
+        out = {}
+        for name in ("water-ns", "cg"):
+            base = run_mode(make(name), config, "single").exec_cycles
+            opt = run_mode(make(name), config, "single", migratory=True)
+            out[name] = {"speedup": base / opt.exec_cycles,
+                         "grants": opt.fabric_stats["migratory_grants"]}
+        return out
+
+    table = once(benchmark, experiment)
+    print("\nAblation (migratory optimization): " + str(table))
+    assert table["water-ns"]["grants"] > 0
+    assert table["water-ns"]["speedup"] > 1.0
+
+
+def test_exclusive_prefetch_contribution(benchmark):
+    """Zeroing the same-session window (via a permanently-ahead A-stream)
+    removes store conversion; compare converted counts."""
+
+    def experiment():
+        config = scaled_config(8)
+        tight = run_mode(make("sor"), config, "slipstream",
+                         policy=ARSyncPolicy("G0", "global", 0))
+        loose = run_mode(make("sor"), config, "slipstream",
+                         policy=ARSyncPolicy("L4", "local", 4))
+        return {"G0": tight.stores_converted, "L4": loose.stores_converted}
+
+    counts = once(benchmark, experiment)
+    print(f"\nAblation (store conversion window, sor@8): {counts}")
+    # tight sync keeps A in-session more often -> more conversions
+    assert counts["G0"] >= counts["L4"]

@@ -1,0 +1,77 @@
+"""Figure 10: performance with transparent loads and self-invalidation.
+
+Three slipstream configurations (all one-token global, like the paper):
+prefetching only, prefetching + transparent loads, and prefetching +
+transparent loads + self-invalidation, each relative to the best of single
+and double mode.
+
+Checks the paper's qualitative findings:
+
+* for prefetch-friendly kernels (FFT, MG, SOR) transparent loads alone can
+  *reduce* performance (they take away prefetch benefit),
+* self-invalidation recovers that loss and helps lock/producer-consumer
+  kernels the most (CG, SP, Water-NS).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import pytest
+from common import COMPARISON_CMPS, SECTION4_SET, once, run
+
+from repro.slipstream.arsync import G1
+
+
+def three_configs(name):
+    n = COMPARISON_CMPS[name]
+    single = run(name, "single", n).exec_cycles
+    double = run(name, "double", n).exec_cycles
+    best = min(single, double)
+    return {
+        "prefetch": best / run(name, "slipstream", n,
+                               policy=G1).exec_cycles,
+        "+tl": best / run(name, "slipstream", n, policy=G1,
+                          transparent=True).exec_cycles,
+        "+tl+si": best / run(name, "slipstream", n, policy=G1,
+                             si=True).exec_cycles,
+    }
+
+
+@pytest.mark.parametrize("name", SECTION4_SET)
+def test_three_slipstream_configs(benchmark, name):
+    series = once(benchmark, lambda: three_configs(name))
+    print(f"\nFigure 10: {name}: " +
+          " ".join(f"{k}={v:.2f}" for k, v in series.items()))
+    assert all(v > 0 for v in series.values())
+
+
+def test_transparent_loads_alone_can_hurt_prefetch_kernels(benchmark):
+    """Paper: 'In some cases (FFT, MG, and SOR), using transparent loads
+    decreases performance because of the reduction in prefetching.'"""
+
+    def experiment():
+        return {name: three_configs(name) for name in ("sor", "mg")}
+
+    table = once(benchmark, experiment)
+    hurt = [name for name, series in table.items()
+            if series["+tl"] < series["prefetch"]]
+    print(f"\nFigure 10: TL-alone hurts: {hurt}")
+    assert hurt, "transparent loads should cost prefetch benefit somewhere"
+
+
+def test_si_recovers_or_extends_gain_for_lock_kernels(benchmark):
+    """Paper: adding SI gives extra speedup for CG, SP, and Water-NS."""
+
+    def experiment():
+        return {name: three_configs(name)
+                for name in ("cg", "sp", "water-ns")}
+
+    table = once(benchmark, experiment)
+    for name, series in table.items():
+        print(f"\nFigure 10: {name}: " +
+              " ".join(f"{k}={v:.2f}" for k, v in series.items()))
+    improved = sum(series["+tl+si"] >= series["+tl"]
+                   for series in table.values())
+    assert improved >= 2

@@ -1,0 +1,50 @@
+"""Figure 1: speedup of two tasks per CMP (double) vs one (single).
+
+Regenerates the paper's opening observation: applying the second processor
+to more parallel tasks yields diminishing (or negative) returns as the CMP
+count grows.  One benchmark entry per kernel at 16 CMPs, plus a sweep for
+the paper's six plotted kernels at {2, 4, 8, 16}.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import pytest
+from common import once, run
+
+from repro.workloads import PAPER_ORDER
+
+#: the six kernels plotted in Figure 1
+FIG1_SET = ("water-sp", "mg", "sor", "cg", "water-ns", "ocean")
+
+
+@pytest.mark.parametrize("name", PAPER_ORDER)
+def test_double_vs_single_at_16(benchmark, name):
+    def experiment():
+        single = run(name, "single", 16).exec_cycles
+        double = run(name, "double", 16).exec_cycles
+        return single / double
+
+    ratio = once(benchmark, experiment)
+    print(f"\nFigure 1 @16 CMPs: {name}: double/single speedup = {ratio:.2f}")
+    # the scalability-limit regime: double never reaches its ideal 2x
+    assert ratio < 2.0
+
+
+@pytest.mark.parametrize("name", ("sor", "ocean"))
+def test_double_gain_shrinks_with_cmp_count(benchmark, name):
+    def experiment():
+        series = {}
+        for n in (2, 8, 16):
+            single = run(name, "single", n).exec_cycles
+            double = run(name, "double", n).exec_cycles
+            series[n] = single / double
+        return series
+
+    series = once(benchmark, experiment)
+    row = " ".join(f"{n}:{v:.2f}" for n, v in series.items())
+    print(f"\nFigure 1 sweep: {name}: {row}")
+    # the paper's headline: the double-mode advantage erodes with scale
+    assert series[16] < series[2]

@@ -1,0 +1,61 @@
+"""Figure 4: speedup of single mode over sequential execution.
+
+Regenerates the three scalability groups the paper identifies:
+
+* keep scaling at 16 CMPs: Water-SP, LU, SOR,
+* diminishing returns:     Water-NS, Ocean, MG, CG, SP,
+* degrading:               FFT (beyond 4 CMPs).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import pytest
+from common import once, run, sequential_cycles
+
+SCALING = ("water-sp", "lu", "sor")
+DIMINISHING = ("water-ns", "ocean", "mg", "cg", "sp")
+
+
+@pytest.mark.parametrize("name", SCALING)
+def test_scaling_group_keeps_improving(benchmark, name):
+    def experiment():
+        seq = sequential_cycles(name)
+        return {n: seq / run(name, "single", n).exec_cycles
+                for n in (2, 8, 16)}
+
+    series = once(benchmark, experiment)
+    print(f"\nFigure 4: {name}: " +
+          " ".join(f"{n}:{v:.2f}" for n, v in series.items()))
+    assert series[16] > series[8] > series[2]
+    assert series[16] > 4.0
+
+
+@pytest.mark.parametrize("name", DIMINISHING)
+def test_diminishing_group_flattens(benchmark, name):
+    def experiment():
+        seq = sequential_cycles(name)
+        return {n: seq / run(name, "single", n).exec_cycles
+                for n in (2, 8, 16)}
+
+    series = once(benchmark, experiment)
+    print(f"\nFigure 4: {name}: " +
+          " ".join(f"{n}:{v:.2f}" for n, v in series.items()))
+    # diminishing: the 8->16 step gains far less than ideal (2x)
+    assert series[16] < series[8] * 1.6
+
+
+def test_fft_stops_scaling(benchmark):
+    def experiment():
+        seq = sequential_cycles("fft")
+        return {n: seq / run("fft", "single", n).exec_cycles
+                for n in (2, 4, 8, 16)}
+
+    series = once(benchmark, experiment)
+    print("\nFigure 4: fft: " +
+          " ".join(f"{n}:{v:.2f}" for n, v in series.items()))
+    # FFT's communication dominates early; the paper stops comparing at 4.
+    assert series[4] < 2.0
+    assert series[16] < series[8] * 1.5

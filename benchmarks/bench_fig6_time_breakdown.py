@@ -1,0 +1,83 @@
+"""Figure 6: execution-time breakdown for single (S), double (D), and
+slipstream (R-stream, A-stream), relative to single mode.
+
+Regenerates the paper's observations:
+
+* reduction in stall time contributes most of slipstream's gain,
+* A-R synchronization time appears only on the A-stream's bar (it shows
+  how much the A-stream was shortened),
+* LU and Water-SP show little stall in single mode, which is why
+  slipstream cannot help them.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import pytest
+from common import (BEST_POLICY, COMPARISON_CMPS, once, run,
+                    run_best_slipstream)
+
+from repro.stats.timebreakdown import CATEGORIES
+
+
+def breakdown_set(name):
+    n = COMPARISON_CMPS[name]
+    single = run(name, "single", n)
+    double = run(name, "double", n)
+    slip = run_best_slipstream(name, n)
+    base = single.mean_task_breakdown.total
+
+    def norm(breakdown):
+        return {c: 100.0 * getattr(breakdown, c) / base for c in CATEGORIES}
+
+    return {
+        "S": norm(single.mean_task_breakdown),
+        "D": norm(double.mean_task_breakdown),
+        "R": norm(slip.mean_task_breakdown),
+        "A": norm(slip.mean_astream_breakdown),
+    }
+
+
+def show(name, bars):
+    print(f"\nFigure 6: {name} (policy {BEST_POLICY[name]}, % of single)")
+    for mode, values in bars.items():
+        cells = " ".join(f"{c}={v:5.1f}" for c, v in values.items())
+        print(f"  {mode}: {cells}")
+
+
+@pytest.mark.parametrize("name", ("sor", "ocean", "mg", "sp"))
+def test_stall_reduction_drives_slipstream_gain(benchmark, name):
+    bars = once(benchmark, lambda: breakdown_set(name))
+    show(name, bars)
+    # the R-stream's stall is below single mode's stall
+    assert bars["R"]["stall"] < bars["S"]["stall"]
+    # only the A-stream accumulates A-R synchronization time
+    assert bars["A"]["arsync"] > 0
+    assert bars["R"]["arsync"] == 0
+    assert bars["S"]["arsync"] == 0
+
+
+@pytest.mark.parametrize("name", ("lu", "water-sp"))
+def test_low_stall_kernels_gain_little(benchmark, name):
+    bars = once(benchmark, lambda: breakdown_set(name))
+    show(name, bars)
+    # single-mode profile is compute/synchronization dominated
+    total = sum(bars["S"].values())
+    assert bars["S"]["stall"] / total < 0.5
+
+
+@pytest.mark.parametrize("name", ("cg", "water-ns"))
+def test_lock_kernels_keep_lock_time_on_r_only(benchmark, name):
+    bars = once(benchmark, lambda: breakdown_set(name))
+    show(name, bars)
+    # the A-stream skips locks entirely
+    assert bars["A"]["lock"] == 0
+    assert bars["R"]["lock"] > 0
+
+
+def test_double_busy_is_half_of_single(benchmark):
+    bars = once(benchmark, lambda: breakdown_set("sor"))
+    # per-task busy work halves when the task count doubles
+    assert bars["D"]["busy"] == pytest.approx(bars["S"]["busy"] / 2, rel=0.2)

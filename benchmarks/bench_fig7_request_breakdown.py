@@ -1,0 +1,76 @@
+"""Figure 7: breakdown of memory requests for shared data.
+
+Classifies every shared-data request in slipstream mode into the paper's
+six categories (A/R x Timely/Late/Only), per A-R synchronization policy,
+and checks the structural relationships the paper highlights between tight
+(G0) and loose (L1) synchronization.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import pytest
+from common import COMPARISON_CMPS, once, run
+
+from repro.slipstream.arsync import POLICIES
+from repro.stats.classify import CATEGORIES
+
+
+def classify(name, policy):
+    n = COMPARISON_CMPS[name]
+    result = run(name, "slipstream", n, policy=policy)
+    return {"read": result.read_breakdown, "excl": result.excl_breakdown}
+
+
+def show(name, table):
+    print(f"\nFigure 7: {name} (fractions of requests)")
+    for policy_name, kinds in table.items():
+        for kind in ("read", "excl"):
+            cells = " ".join(f"{c.replace('_', '-')}={v:.2f}"
+                             for c, v in kinds[kind].items() if v > 0.005)
+            print(f"  {policy_name}/{kind}: {cells}")
+
+
+@pytest.mark.parametrize("name", ("sor", "ocean", "mg"))
+def test_request_classes_partition_all_requests(benchmark, name):
+    def experiment():
+        return {p.name: classify(name, p) for p in POLICIES}
+
+    table = once(benchmark, experiment)
+    show(name, table)
+    for kinds in table.values():
+        for kind in ("read", "excl"):
+            total = sum(kinds[kind].values())
+            assert total == pytest.approx(1.0, abs=1e-6) or total == 0.0
+
+
+@pytest.mark.parametrize("name", ("sor", "ocean"))
+def test_tight_sync_favors_exclusive_conversion(benchmark, name):
+    """Paper: G0 has the largest fraction of A-Timely exclusive requests,
+    because stores convert to prefetches only in the same session."""
+
+    def experiment():
+        return {p.name: classify(name, p) for p in POLICIES}
+
+    table = once(benchmark, experiment)
+    g0_excl = table["G0"]["excl"]["a_timely"] + table["G0"]["excl"]["a_late"]
+    l1_excl = table["L1"]["excl"]["a_timely"] + table["L1"]["excl"]["a_late"]
+    print(f"\nFigure 7: {name}: A-share of exclusive requests: "
+          f"G0={g0_excl:.2f} L1={l1_excl:.2f}")
+    assert g0_excl >= l1_excl
+
+
+def test_correlation_view_r_only_is_small(benchmark):
+    """Paper: with slipstream running the same task twice, almost all
+    R-stream requests are for data the A-stream also references (small
+    R-Only component)."""
+
+    def experiment():
+        return classify("sor", POLICIES[0])
+
+    kinds = once(benchmark, experiment)
+    print(f"\nFigure 7: sor/L1 R-Only read fraction = "
+          f"{kinds['read']['r_only']:.3f}")
+    assert kinds["read"]["r_only"] < 0.2

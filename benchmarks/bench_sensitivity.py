@@ -1,0 +1,54 @@
+"""Machine-parameter sensitivity of the slipstream benefit (extension).
+
+The paper evaluates one machine point; these benches sweep the parameters
+that matter most for the technique and check the expected directions:
+
+* slower network -> remote misses hurt more -> slipstream's prefetching
+  matters more (benefit non-decreasing in the interesting range),
+* a much larger L2 keeps prefetched lines alive longer.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import pytest
+from common import once
+
+from repro.experiments.sensitivity import sweep
+
+
+def test_network_latency_sweep(benchmark):
+    results = once(benchmark, lambda: sweep(
+        "net_time", values=(10, 50, 150), workload_name="ocean", n_cmps=8))
+    print("\nSensitivity (net_time, ocean@8): " +
+          " ".join(f"{k}cyc={v:.2f}" for k, v in results.items()))
+    # prefetching matters more when remote latency is higher
+    assert results[150] >= results[10] * 0.9
+
+
+def test_memory_latency_sweep(benchmark):
+    results = once(benchmark, lambda: sweep(
+        "mem_time", values=(20, 150), workload_name="sor", n_cmps=8))
+    print("\nSensitivity (mem_time, sor@8): " +
+          " ".join(f"{k}cyc={v:.2f}" for k, v in results.items()))
+    assert all(v > 0 for v in results.values())
+
+
+def test_l2_size_sweep(benchmark):
+    results = once(benchmark, lambda: sweep(
+        "l2_size", values=(32 * 1024, 256 * 1024), workload_name="ocean",
+        n_cmps=8))
+    print("\nSensitivity (l2_size, ocean@8): " +
+          " ".join(f"{k // 1024}KB={v:.2f}" for k, v in results.items()))
+    assert all(v > 0 for v in results.values())
+
+
+def test_port_bandwidth_sweep(benchmark):
+    results = once(benchmark, lambda: sweep(
+        "port_data_occupancy", values=(8, 120), workload_name="mg",
+        n_cmps=8))
+    print("\nSensitivity (port occupancy, mg@8): " +
+          " ".join(f"{k}cyc={v:.2f}" for k, v in results.items()))
+    assert all(v > 0 for v in results.values())

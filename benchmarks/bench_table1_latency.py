@@ -1,0 +1,71 @@
+"""Table 1: verify the machine's miss latencies and measure raw protocol
+transaction cost.
+
+The paper quotes 170 cycles for a local clean miss and 290 for a remote
+clean miss as the defining property of the Table 1 configuration; this
+bench regenerates both numbers from the protocol itself.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import once
+
+from repro.config import MachineConfig
+from repro.machine.system import System
+from repro.sim import Process
+
+
+def _measure_miss(local: bool) -> int:
+    system = System(MachineConfig(n_cmps=4))
+    space = system.space
+    requester = 0
+    target_home = 0 if local else 2
+    line = next(l for l in range(0, 4096, 64)
+                if space.home_of_line(l) == target_home)
+    out = {}
+
+    def txn():
+        start = system.engine.now
+        yield from system.fabric.fetch(requester, line, "read", "R")
+        out["elapsed"] = system.engine.now - start
+
+    Process(system.engine, txn())
+    system.engine.run()
+    return out["elapsed"]
+
+
+def test_local_miss_latency(benchmark):
+    elapsed = once(benchmark, lambda: _measure_miss(local=True))
+    print(f"\nTable 1 check: local clean miss = {elapsed} cycles "
+          f"(paper: 170)")
+    assert elapsed == 170
+
+
+def test_remote_miss_latency(benchmark):
+    elapsed = once(benchmark, lambda: _measure_miss(local=False))
+    print(f"\nTable 1 check: remote clean miss = {elapsed} cycles "
+          f"(paper: 290)")
+    assert elapsed == 290
+
+
+def test_protocol_transaction_throughput(benchmark):
+    """Raw simulator speed: coherence transactions per wall-second."""
+
+    def storm():
+        system = System(MachineConfig(n_cmps=8))
+
+        def requester(node, lines):
+            for line in lines:
+                yield from system.fabric.fetch(node, line, "read", "R")
+
+        for node in range(8):
+            lines = range(node * 4096 * 16 // 64, node * 4096 * 16 // 64 + 200)
+            Process(system.engine, requester(node, list(lines)))
+        system.engine.run()
+        return system.fabric.transactions
+
+    transactions = benchmark(storm)
+    assert transactions == 8 * 200

@@ -1,0 +1,59 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` file regenerates one of the paper's tables or figures via
+pytest-benchmark.  Simulations are deterministic, so every benchmark runs
+``pedantic`` with a single round — the measured time is the simulation
+cost, and the *output* (printed series and shape assertions) is the
+reproduction result.
+
+Run everything with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from repro.config import scaled_config
+from repro.experiments.driver import RunResult, run_mode, sequential_baseline
+from repro.slipstream.arsync import POLICIES, policy_by_name
+from repro.workloads import PAPER_ORDER, make
+
+#: best prefetch-only A-R policy per benchmark, from the Figure 5 sweep
+#: (the paper likewise reports a per-benchmark winner; see EXPERIMENTS.md)
+BEST_POLICY = {
+    "cg": "L1",
+    "fft": "G1",
+    "lu": "G1",
+    "mg": "G0",
+    "ocean": "G0",
+    "sor": "L1",
+    "sp": "G0",
+    "water-ns": "G1",
+    "water-sp": "G0",
+}
+
+#: the CMP count at which each benchmark's slipstream comparison runs
+COMPARISON_CMPS = {name: (4 if name == "fft" else 16)
+                   for name in PAPER_ORDER}
+
+#: benchmarks the paper carries into the Section 4 experiments
+SECTION4_SET = ("cg", "fft", "mg", "ocean", "sor", "sp", "water-ns")
+
+
+def run(name: str, mode: str, n_cmps: int, **kwargs) -> RunResult:
+    """One simulation with the standard experiment configuration."""
+    return run_mode(make(name), scaled_config(n_cmps), mode, **kwargs)
+
+
+def run_best_slipstream(name: str, n_cmps: int, **kwargs) -> RunResult:
+    policy = policy_by_name(BEST_POLICY[name])
+    return run(name, "slipstream", n_cmps, policy=policy, **kwargs)
+
+
+def sequential_cycles(name: str) -> int:
+    return sequential_baseline(make(name), scaled_config(1)).exec_cycles
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return its value."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

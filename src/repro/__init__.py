@@ -1,0 +1,37 @@
+"""Slipstream execution mode for CMP-based multiprocessors — reproduction.
+
+A pure-Python reproduction of Ibrahim, Byrd & Rotenberg, "Slipstream
+Execution Mode for CMP-Based Multiprocessors" (HPCA 2003): an event-driven
+simulator of a DSM multiprocessor built from dual-processor CMP nodes, the
+slipstream A-stream/R-stream runtime, transparent loads, and
+self-invalidation, plus the paper's nine benchmark kernels and the full
+evaluation harness.
+
+Quick start::
+
+    from repro import MachineConfig, run_mode, make_workload
+
+    config = MachineConfig(n_cmps=8)
+    single = run_mode(make_workload("sor"), config, "single")
+    slip = run_mode(make_workload("sor"), config, "slipstream")
+    print(single.exec_cycles / slip.exec_cycles)
+
+See ``examples/`` for runnable scenarios and ``repro.experiments.figures``
+for the table/figure regeneration entry points.
+"""
+
+from repro.config import MachineConfig, TABLE1, scaled_config, water_config
+from repro.experiments.driver import (MODES, RunResult, run_mode,
+                                      sequential_baseline)
+from repro.slipstream.arsync import G0, G1, L0, L1, POLICIES, ARSyncPolicy
+from repro.workloads import PAPER_ORDER, REGISTRY, TraceWorkload, dump_trace
+from repro.workloads import make as make_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ARSyncPolicy", "G0", "G1", "L0", "L1", "MODES", "MachineConfig",
+    "PAPER_ORDER", "POLICIES", "REGISTRY", "RunResult", "TABLE1",
+    "TraceWorkload", "dump_trace", "make_workload", "run_mode",
+    "scaled_config", "sequential_baseline", "water_config",
+]

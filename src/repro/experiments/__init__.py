@@ -1,0 +1,15 @@
+"""Experiment drivers: execution modes, sweeps, and figure/table regeneration.
+
+* :mod:`repro.experiments.driver` — run one (workload, machine, mode)
+  combination and collect a :class:`~repro.experiments.driver.RunResult`.
+* :mod:`repro.experiments.figures` — one function per table/figure of the
+  paper's evaluation (see DESIGN.md's per-experiment index).
+"""
+
+from repro.experiments.driver import (MODES, RunResult, run_mode,
+                                      sequential_baseline)
+from repro.experiments.claims import CLAIMS, check_all
+from repro.experiments.sensitivity import slipstream_benefit, sweep
+
+__all__ = ["CLAIMS", "MODES", "RunResult", "check_all", "run_mode",
+           "sequential_baseline", "slipstream_benefit", "sweep"]

@@ -1,0 +1,169 @@
+"""Command-line driver: ``python -m repro.experiments <experiment> [...]``.
+
+Examples::
+
+    python -m repro.experiments table1
+    python -m repro.experiments fig1 --cmps 2 4 8 16
+    python -m repro.experiments fig5 --workloads sor ocean --cmps 8 16
+    python -m repro.experiments fig10
+    python -m repro.experiments all        # everything (slow)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.experiments import figures
+from repro.stats.report import bar_chart, series_table
+from repro.workloads import PAPER_ORDER
+
+
+def _flatten_fig5(data):
+    flat = {}
+    for name, per_n in data.items():
+        for n, row in per_n.items():
+            flat[f"{name}@{n}"] = row
+    return flat
+
+
+def _flatten_fig6(data):
+    flat = {}
+    for name, modes in data.items():
+        policy = modes.get("policy", "")
+        for mode in ("S", "D", "R", "A"):
+            flat[f"{name}/{mode}"] = modes[mode]
+        flat[f"{name}/policy"] = {"policy": policy}
+    return flat
+
+
+def _flatten_fig7(data):
+    flat = {}
+    for name, per_policy in data.items():
+        for policy, kinds in per_policy.items():
+            for kind, breakdown in kinds.items():
+                flat[f"{name}/{policy}/{kind}"] = breakdown
+    return flat
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("experiment",
+                        choices=["table1", "table2", "fig1", "fig4", "fig5",
+                                 "fig6", "fig7", "fig9", "fig10",
+                                 "sensitivity", "claims", "all"])
+    parser.add_argument("--parameter", default="net_time",
+                        help="machine parameter for the sensitivity sweep")
+    parser.add_argument("--results", default="results_raw.json",
+                        help="raw-results dump for the claims checker")
+    parser.add_argument("--workloads", nargs="*", default=None,
+                        help=f"benchmark subset (default: paper set "
+                             f"{list(PAPER_ORDER)})")
+    parser.add_argument("--cmps", nargs="*", type=int, default=None,
+                        help="CMP counts for the sweep figures")
+    parser.add_argument("--json", action="store_true",
+                        help="emit raw JSON instead of a text table")
+    args = parser.parse_args(argv)
+
+    workloads = tuple(args.workloads) if args.workloads else PAPER_ORDER
+    cmps = tuple(args.cmps) if args.cmps else figures.CMP_COUNTS
+
+    if args.experiment == "claims":
+        from repro.experiments.claims import check_file
+        try:
+            results = check_file(args.results)
+        except FileNotFoundError:
+            print(f"error: {args.results} not found — run "
+                  "scripts/generate_experiments_md.py --json-dump "
+                  "results_raw.json first", file=sys.stderr)
+            return 2
+        for result in results:
+            print(result)
+        return 0 if all(r.passed for r in results) else 1
+
+    if args.experiment == "sensitivity":
+        from repro.experiments.sensitivity import sweep
+        name = args.workloads[0] if args.workloads else "ocean"
+        data = sweep(args.parameter, workload_name=name,
+                     n_cmps=(cmps[-1] if args.cmps else 8))
+        if args.json:
+            print(json.dumps(data, indent=2))
+        else:
+            print(bar_chart({str(k): v for k, v in data.items()},
+                            title=f"Slipstream benefit vs {args.parameter} "
+                                  f"({name})", reference=1.0))
+        return 0
+
+    todo = (["table1", "table2", "fig1", "fig4", "fig5", "fig6", "fig7",
+             "fig9", "fig10"] if args.experiment == "all"
+            else [args.experiment])
+    for experiment in todo:
+        if experiment == "table1":
+            data = figures.table1()
+            printable = data
+            title = "Table 1: machine parameters (cycles)"
+        elif experiment == "table2":
+            data = {row["benchmark"]: row for row in figures.table2()}
+            printable = data
+            title = "Table 2: benchmarks and data-set sizes"
+        elif experiment == "fig1":
+            data = figures.figure1(workloads, cmps)
+            printable = data
+            title = "Figure 1: double-mode speedup relative to single mode"
+        elif experiment == "fig4":
+            data = figures.figure4(workloads, cmps)
+            printable = data
+            title = "Figure 4: single-mode speedup over sequential"
+        elif experiment == "fig5":
+            data = figures.figure5(workloads, cmps)
+            printable = _flatten_fig5(data)
+            title = "Figure 5: slipstream / double speedup vs single"
+        elif experiment == "fig6":
+            data = figures.figure6(workloads)
+            printable = _flatten_fig6(data)
+            title = "Figure 6: execution-time breakdown (% of single)"
+        elif experiment == "fig7":
+            data = figures.figure7(workloads)
+            printable = _flatten_fig7(data)
+            title = "Figure 7: shared-data request classification"
+        elif experiment == "fig9":
+            data = figures.figure9()
+            printable = data
+            title = "Figure 9: transparent-load breakdown (% of A reads)"
+        else:  # fig10
+            data = figures.figure10()
+            printable = data
+            title = "Figure 10: transparent loads + self-invalidation"
+        if args.json:
+            print(json.dumps(data, indent=2, default=str))
+        elif experiment in ("fig1", "fig4"):
+            print(series_table(data, title=title))
+            print()
+        elif experiment == "fig10":
+            print(title)
+            for name, row in data.items():
+                bars = {k: v for k, v in row.items() if k != "best_mode"}
+                print(bar_chart(bars, title=f"\n{name} (vs best: "
+                                            f"{row['best_mode']})",
+                                reference=1.0))
+            print()
+        else:
+            print(figures.render(printable, title=title))
+            print()
+    return 0
+
+
+def run() -> int:
+    """Entry point with clean one-line errors for bad names."""
+    try:
+        return main()
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(run())

@@ -1,0 +1,226 @@
+"""The paper's testable claims, as checkable predicates.
+
+Every qualitative statement the paper makes about its evaluation is
+encoded here as a :class:`Claim` over the raw results dictionary that
+``scripts/generate_experiments_md.py`` produces (and optionally dumps to
+``results_raw.json``).  ``check_all`` evaluates them without re-running a
+single simulation, so "does the reproduction still hold?" is a one-second
+question once the sweep data exists.
+
+Used by ``python -m repro.experiments claims`` and the test suite.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+#: benchmarks the paper says slipstream wins at 16 CMPs (we exclude FFT:
+#: see EXPERIMENTS.md deviation #2)
+EXPECTED_WINS = ("cg", "mg", "ocean", "sor", "sp", "water-ns")
+SCALING_GROUP = ("water-sp", "lu", "sor")
+FFT_COMPARISON_CMPS = 4
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One paper claim and the predicate that checks it."""
+
+    key: str
+    statement: str
+    check: Callable[[Dict], bool]
+
+    def evaluate(self, raw: Dict) -> "ClaimResult":
+        try:
+            ok = bool(self.check(raw))
+            detail = ""
+        except (KeyError, TypeError, IndexError) as exc:
+            ok = False
+            detail = f"missing data: {exc!r}"
+        return ClaimResult(self, ok, detail)
+
+
+@dataclass(frozen=True)
+class ClaimResult:
+    claim: Claim
+    passed: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        mark = "PASS" if self.passed else "FAIL"
+        suffix = f" ({self.detail})" if self.detail else ""
+        return f"[{mark}] {self.claim.key}: {self.claim.statement}{suffix}"
+
+
+# ----------------------------------------------------------------------
+# Predicate helpers over the raw-results dictionary
+# ----------------------------------------------------------------------
+def _fig5_cell(raw: Dict, name: str) -> Dict[str, float]:
+    n = FFT_COMPARISON_CMPS if name == "fft" else 16
+    return raw["fig5"][name][_k(raw["fig5"][name], n)]
+
+
+def _k(mapping: Dict, key: int):
+    """JSON round-trips integer keys to strings; accept either."""
+    return key if key in mapping else str(key)
+
+
+def _best_slip(cell: Dict[str, float]) -> float:
+    return max(cell[p] for p in ("L1", "L0", "G1", "G0"))
+
+
+# ----------------------------------------------------------------------
+# The claims
+# ----------------------------------------------------------------------
+def _claim_double_erodes(raw: Dict) -> bool:
+    """Fig 1: double's advantage shrinks from 2 to 16 CMPs for most kernels."""
+    fig1 = raw["fig1"]
+    eroding = sum(
+        fig1[name][_k(fig1[name], 16)] < fig1[name][_k(fig1[name], 2)]
+        for name in fig1)
+    return eroding >= len(fig1) - 1
+
+
+def _claim_scaling_group(raw: Dict) -> bool:
+    """Fig 4: Water-SP, LU, SOR keep improving through 16 CMPs."""
+    fig4 = raw["fig4"]
+    return all(
+        fig4[name][_k(fig4[name], 16)] > fig4[name][_k(fig4[name], 8)]
+        for name in SCALING_GROUP)
+
+
+def _claim_fft_limited(raw: Dict) -> bool:
+    """Fig 4: FFT is communication-bound (speedup < 2 at 4 CMPs)."""
+    fig4 = raw["fig4"]["fft"]
+    return fig4[_k(fig4, 4)] < 2.0
+
+
+def _claim_slipstream_wins(raw: Dict) -> bool:
+    """Fig 5: slipstream beats best(single, double) for the expected set."""
+    for name in EXPECTED_WINS:
+        cell = _fig5_cell(raw, name)
+        if _best_slip(cell) <= max(1.0, cell["double"]):
+            return False
+    return True
+
+
+def _claim_double_kernels(raw: Dict) -> bool:
+    """Fig 5: LU and Water-SP still favor double mode."""
+    for name in ("lu", "water-sp"):
+        cell = _fig5_cell(raw, name)
+        if cell["double"] <= _best_slip(cell):
+            return False
+    return True
+
+
+def _claim_no_consistent_winner(raw: Dict) -> bool:
+    """Fig 5: no single A-R policy wins for every benchmark."""
+    winners = set()
+    for name in raw["fig5"]:
+        cell = _fig5_cell(raw, name)
+        winners.add(max(("L1", "L0", "G1", "G0"), key=lambda k: cell[k]))
+    return len(winners) >= 2
+
+
+def _claim_stall_reduction(raw: Dict) -> bool:
+    """Fig 6: the R-stream's stall is below single mode's for the winners."""
+    for name in EXPECTED_WINS:
+        bars = raw["fig6"][name]
+        if bars["R"]["stall"] >= bars["S"]["stall"]:
+            return False
+    return True
+
+
+def _claim_arsync_only_on_astream(raw: Dict) -> bool:
+    """Fig 6: A-R synchronization time appears only on A-stream bars."""
+    for name, bars in raw["fig6"].items():
+        if bars["S"]["arsync"] or bars["D"]["arsync"] or bars["R"]["arsync"]:
+            return False
+        if bars["A"]["arsync"] <= 0:
+            return False
+    return True
+
+
+def _claim_classification_partitions(raw: Dict) -> bool:
+    """Fig 7: the six request classes partition every benchmark's reads."""
+    for name, per_policy in raw["fig7"].items():
+        for policy, kinds in per_policy.items():
+            total = sum(kinds["read"].values())
+            if total and abs(total - 1.0) > 1e-6:
+                return False
+    return True
+
+
+def _claim_transparent_loads_issued(raw: Dict) -> bool:
+    """Fig 9: every Section 4 benchmark issues transparent loads."""
+    return all(row["issued_pct"] > 0 for row in raw["fig9"].values())
+
+
+def _claim_tl_hurts_somewhere(raw: Dict) -> bool:
+    """Fig 10: transparent loads alone reduce performance for at least one
+    prefetch-friendly kernel (paper: FFT, MG, SOR)."""
+    return any(raw["fig10"][name]["prefetch+tl"]
+               < raw["fig10"][name]["prefetch"]
+               for name in ("fft", "mg", "sor") if name in raw["fig10"])
+
+
+def _claim_si_helps_lock_kernels(raw: Dict) -> bool:
+    """Fig 10: SI recovers or extends the gain for >=2 of CG/SP/Water-NS."""
+    helped = sum(raw["fig10"][name]["prefetch+tl+si"]
+                 >= raw["fig10"][name]["prefetch+tl"]
+                 for name in ("cg", "sp", "water-ns")
+                 if name in raw["fig10"])
+    return helped >= 2
+
+
+CLAIMS: List[Claim] = [
+    Claim("fig1.double-erodes",
+          "double-mode gains shrink as the CMP count grows",
+          _claim_double_erodes),
+    Claim("fig4.scaling-group",
+          "Water-SP, LU, and SOR keep scaling through 16 CMPs",
+          _claim_scaling_group),
+    Claim("fig4.fft-limited",
+          "FFT is communication-limited by 4 CMPs",
+          _claim_fft_limited),
+    Claim("fig5.slipstream-wins",
+          f"slipstream beats best(single, double) for {EXPECTED_WINS}",
+          _claim_slipstream_wins),
+    Claim("fig5.double-kernels",
+          "LU and Water-SP still favor double mode",
+          _claim_double_kernels),
+    Claim("fig5.no-consistent-winner",
+          "no A-R policy wins for every benchmark",
+          _claim_no_consistent_winner),
+    Claim("fig6.stall-reduction",
+          "slipstream's gain comes mostly from reduced stall time",
+          _claim_stall_reduction),
+    Claim("fig6.arsync-on-astream",
+          "A-R synchronization time appears only on A-stream bars",
+          _claim_arsync_only_on_astream),
+    Claim("fig7.partition",
+          "the six request classes partition all read requests",
+          _claim_classification_partitions),
+    Claim("fig9.transparent-issued",
+          "Section 4 benchmarks issue transparent loads",
+          _claim_transparent_loads_issued),
+    Claim("fig10.tl-can-hurt",
+          "transparent loads alone hurt a prefetch-friendly kernel",
+          _claim_tl_hurts_somewhere),
+    Claim("fig10.si-helps-locks",
+          "self-invalidation helps the lock/producer-consumer kernels",
+          _claim_si_helps_lock_kernels),
+]
+
+
+def check_all(raw: Dict) -> List[ClaimResult]:
+    """Evaluate every claim against a raw-results dictionary."""
+    return [claim.evaluate(raw) for claim in CLAIMS]
+
+
+def check_file(path: str = "results_raw.json") -> List[ClaimResult]:
+    """Evaluate the claims against a dumped results file."""
+    raw = json.loads(Path(path).read_text())
+    return check_all(raw)

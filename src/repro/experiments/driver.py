@@ -1,0 +1,274 @@
+"""Run one workload under one execution mode and collect statistics.
+
+The three modes of Figure 2 (plus the uniprocessor baseline):
+
+* ``sequential`` — one task on a single-node machine (Figure 4's baseline),
+* ``single`` — one task per CMP, second processor idle,
+* ``double`` — two tasks per CMP,
+* ``slipstream`` — an R-stream/A-stream pair per CMP, governed by an A-R
+  synchronization policy, optionally with transparent loads
+  (``transparent=True``) and self-invalidation (``si=True``).
+
+Extension flags (all off by default; see DESIGN.md section 4b):
+``forwarding`` (A->R access-pattern forwarding), ``speculative_barriers``
+(pattern replay at barrier entry — a documented negative result),
+``adaptive`` (dynamic A-R policy selection), ``migratory``
+(directory-detected migratory grants), and ``trace`` (event log).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.config import MachineConfig
+from repro.machine.system import System
+from repro.runtime.executor import TaskExecutor
+from repro.runtime.sync import SyncRegistry
+from repro.runtime.task import ROLE_A, ROLE_NORMAL, ROLE_R, TaskContext
+from repro.slipstream.arsync import ARSyncPolicy, G1
+from repro.slipstream.astream import AStreamExecutor
+from repro.slipstream.pair import SlipstreamPair
+from repro.slipstream.rstream import RStreamExecutor
+from repro.sim import Process
+from repro.stats.timebreakdown import TimeBreakdown, average_breakdown
+
+SEQUENTIAL = "sequential"
+SINGLE = "single"
+DOUBLE = "double"
+SLIPSTREAM = "slipstream"
+MODES = (SEQUENTIAL, SINGLE, DOUBLE, SLIPSTREAM)
+
+
+@dataclass
+class RunResult:
+    """Everything measured in one simulation run."""
+
+    workload: str
+    mode: str
+    n_cmps: int
+    exec_cycles: int
+    policy: Optional[str] = None
+    transparent: bool = False
+    si: bool = False
+    #: per full-task (R-stream or conventional) time breakdowns
+    task_breakdowns: List[TimeBreakdown] = field(default_factory=list)
+    #: per A-stream time breakdowns (slipstream mode only)
+    astream_breakdowns: List[TimeBreakdown] = field(default_factory=list)
+    #: Figure 7 classification (slipstream mode only)
+    request_classes: Optional[Dict[str, Dict[str, int]]] = None
+    read_breakdown: Optional[Dict[str, float]] = None
+    excl_breakdown: Optional[Dict[str, float]] = None
+    #: Figure 9 transparent-load statistics
+    a_read_requests: int = 0
+    transparent_replies: int = 0
+    upgraded_transparent: int = 0
+    #: coherence-fabric counters
+    fabric_stats: Dict[str, int] = field(default_factory=dict)
+    si_invalidated: int = 0
+    si_downgraded: int = 0
+    recoveries: int = 0
+    stores_converted: int = 0
+    stores_skipped: int = 0
+    transparent_loads_issued: int = 0
+    #: event tracer of the run (populated when run with trace=True)
+    tracer: Optional[object] = None
+    #: adaptive-policy switches (adaptive=True runs)
+    policy_switches: int = 0
+    final_policies: Optional[Dict[int, str]] = None
+    #: pattern-forwarding statistics (forwarding=True runs)
+    forwarded_prefetches: int = 0
+    pattern_lines_recorded: int = 0
+
+    @property
+    def mean_task_breakdown(self) -> TimeBreakdown:
+        return average_breakdown(self.task_breakdowns)
+
+    @property
+    def mean_astream_breakdown(self) -> TimeBreakdown:
+        return average_breakdown(self.astream_breakdowns)
+
+    def label(self) -> str:
+        suffix = ""
+        if self.mode == SLIPSTREAM:
+            suffix = f"[{self.policy}{'+SI' if self.si else ''}]"
+        return f"{self.workload}/{self.mode}{suffix}@{self.n_cmps}"
+
+
+def _task_home(mode: str, n_cmps: int):
+    """Task-id -> home-node mapping (first-touch-style data placement).
+
+    Double mode scatters tasks across nodes first (task ``i`` runs on node
+    ``i % n``, processor ``i // n``), matching how an OS scheduler spreads
+    threads over a DSM machine; adjacent data blocks therefore live on
+    different nodes and do not get a free shared-L2 ride.
+    """
+    return lambda task_id: task_id % n_cmps
+
+
+def run_mode(workload, config: MachineConfig, mode: str,
+             policy: ARSyncPolicy = G1, transparent: bool = False,
+             si: bool = False, trace: bool = False,
+             adaptive: bool = False, migratory: bool = False,
+             forwarding: bool = False, speculative_barriers: bool = False,
+             max_cycles: Optional[int] = None) -> RunResult:
+    """Simulate ``workload`` under ``mode`` on a machine built from
+    ``config``; returns the collected :class:`RunResult`.
+
+    ``transparent`` enables A-stream transparent loads (Section 4.1);
+    ``si`` additionally enables self-invalidation hints and the sync-point
+    drain (Section 4.2) and implies ``transparent``.
+    """
+    if mode not in MODES:
+        raise ValueError(f"unknown mode {mode!r}; choose from {MODES}")
+    transparent = transparent or si
+    forwarding = forwarding or speculative_barriers
+    if mode == SEQUENTIAL and config.n_cmps != 1:
+        config = config.with_overrides(n_cmps=1)
+
+    slip = mode == SLIPSTREAM
+    system = System(config, classify_requests=slip, trace=trace)
+    system.fabric.si_enabled = si
+    system.fabric.migratory_enabled = migratory
+    n_cmps = config.n_cmps
+    n_tasks = {SEQUENTIAL: 1, SINGLE: n_cmps, DOUBLE: 2 * n_cmps,
+               SLIPSTREAM: n_cmps}[mode]
+    registry = SyncRegistry(system.engine, config, n_tasks)
+    workload.allocate(system.allocator, n_tasks, _task_home(mode, n_cmps))
+
+    executors: List[TaskExecutor] = []
+    pairs: List[SlipstreamPair] = []
+    full_processes: List[Process] = []
+
+    if slip:
+        for task_id in range(n_tasks):
+            node = system.nodes[task_id]
+            r_ctx = TaskContext(task_id, n_tasks, role=ROLE_R)
+            make_program = (lambda wl=workload, tid=task_id, nt=n_tasks:
+                            wl.program(TaskContext(tid, nt, role=ROLE_A)))
+            pair = SlipstreamPair(system.engine, config, task_id, policy,
+                                  tl_enabled=transparent, si_enabled=si,
+                                  make_program=make_program)
+            pair.tracer = system.tracer if trace else None
+            if adaptive:
+                from repro.slipstream.adaptive import AdaptiveController
+                pair.adaptive = AdaptiveController(pair, node.ctrl)
+            if forwarding:
+                from repro.slipstream.forwarding import (PatternLog,
+                                                         PatternPrefetcher)
+                pair.pattern_log = PatternLog()
+                pair.prefetcher = PatternPrefetcher(
+                    pair, node.ctrl, speculative=speculative_barriers)
+            pairs.append(pair)
+            r_exec = RStreamExecutor(node.processor(0), r_ctx,
+                                     workload.program(r_ctx), registry, pair)
+            executors.append(r_exec)
+            full_processes.append(r_exec.start())
+
+            def spawn_astream(the_pair, program, node=node, tid=task_id,
+                              nt=n_tasks):
+                if getattr(the_pair, "shutdown", False):
+                    return None
+                ctx = TaskContext(tid, nt, role=ROLE_A)
+                a_exec = AStreamExecutor(node.processor(1), ctx, program,
+                                         registry, the_pair)
+                the_pair.a_executor_history.append(a_exec)
+                a_exec.start()
+                return a_exec
+
+            pair.spawn_astream = spawn_astream
+            pair.a_executor = spawn_astream(pair, make_program())
+            executors.append(pair.a_executor)
+    else:
+        for task_id in range(n_tasks):
+            if mode == DOUBLE:
+                node = system.nodes[task_id % n_cmps]
+                processor = node.processor(task_id // n_cmps)
+            else:
+                node = system.nodes[task_id]
+                processor = node.processor(0)
+            ctx = TaskContext(task_id, n_tasks, role=ROLE_NORMAL)
+            executor = TaskExecutor(processor, ctx, workload.program(ctx),
+                                    registry)
+            executors.append(executor)
+            full_processes.append(executor.start())
+
+    finish_holder = {}
+
+    def supervise():
+        for process in full_processes:
+            if not process.done:
+                yield process
+        finish_holder["cycles"] = system.engine.now
+        # All full tasks are finished: retire any still-running A-streams.
+        for pair in pairs:
+            pair.shutdown = True
+            a_exec = pair.a_executor
+            if a_exec is not None and a_exec.process is not None \
+                    and not a_exec.process.done:
+                a_exec.process.kill()
+
+    Process(system.engine, supervise(), name="run-supervisor")
+    system.run(until=max_cycles)
+    system.finalize()
+
+    exec_cycles = finish_holder.get("cycles", system.engine.now)
+    result = RunResult(workload=workload.name, mode=mode, n_cmps=n_cmps,
+                       exec_cycles=exec_cycles,
+                       policy=policy.name if slip else None,
+                       transparent=transparent if slip else False,
+                       si=si if slip else False)
+    if slip:
+        result.task_breakdowns = [e.processor.breakdown for e in executors
+                                  if isinstance(e, RStreamExecutor)]
+        result.astream_breakdowns = [
+            p.a_executor.processor.breakdown for p in pairs
+            if p.a_executor is not None]
+        # statistics cover every A-stream ever spawned, including the
+        # pre-recovery ones
+        all_a = [a for p in pairs for a in p.a_executor_history]
+        result.recoveries = sum(p.recoveries for p in pairs)
+        result.stores_converted = sum(a.stores_converted for a in all_a)
+        result.stores_skipped = sum(a.stores_skipped for a in all_a)
+        result.transparent_loads_issued = sum(
+            a.transparent_loads for a in all_a)
+        classifier = system.classifier
+        result.request_classes = classifier.summary()
+        result.read_breakdown = classifier.breakdown("read")
+        result.excl_breakdown = classifier.breakdown("excl")
+        result.a_read_requests = classifier.a_request_count("read")
+        result.transparent_replies = system.fabric.transparent_replies
+        result.upgraded_transparent = system.fabric.upgraded_transparent
+        result.si_invalidated = sum(n.ctrl.si_invalidated
+                                    for n in system.nodes)
+        result.si_downgraded = sum(n.ctrl.si_downgraded
+                                   for n in system.nodes)
+        if adaptive:
+            result.policy_switches = sum(p.adaptive.switches for p in pairs)
+            result.final_policies = {p.task_id: p.policy.name
+                                     for p in pairs}
+        if forwarding:
+            result.forwarded_prefetches = sum(p.prefetcher.issued
+                                              for p in pairs)
+            result.pattern_lines_recorded = sum(p.pattern_log.recorded
+                                                for p in pairs)
+    else:
+        result.task_breakdowns = [e.processor.breakdown for e in executors]
+    fabric = system.fabric
+    if trace:
+        result.tracer = system.tracer
+    result.fabric_stats = {
+        "transactions": fabric.transactions,
+        "interventions": fabric.interventions,
+        "invalidations_sent": fabric.invalidations_sent,
+        "writebacks": fabric.writebacks,
+        "si_hints_sent": fabric.si_hints_sent,
+        "migratory_grants": fabric.migratory_grants,
+        "network_messages": fabric.network.messages,
+    }
+    return result
+
+
+def sequential_baseline(workload, config: MachineConfig) -> RunResult:
+    """Uniprocessor run used as the Figure 4 speedup baseline."""
+    return run_mode(workload, config.with_overrides(n_cmps=1), SEQUENTIAL)

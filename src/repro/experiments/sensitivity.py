@@ -1,0 +1,79 @@
+"""Machine-parameter sensitivity of the slipstream benefit.
+
+The paper evaluates one machine point (Table 1).  A natural question for
+anyone adopting the technique is how the slipstream win moves as the
+machine changes — slower memory, a slower network, bigger caches, a
+different SI drain rate.  This module sweeps one parameter at a time and
+reports the slipstream-vs-best-conventional ratio at each point.
+
+Used by ``python -m repro.experiments`` (``sensitivity`` subcommand) and
+``benchmarks/bench_sensitivity.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro.config import MachineConfig, scaled_config
+from repro.experiments.driver import run_mode
+from repro.slipstream.arsync import ARSyncPolicy, G1
+from repro.workloads import make
+
+#: parameter -> default sweep values (Table 1 value included in each)
+DEFAULT_SWEEPS: Dict[str, Sequence[int]] = {
+    "net_time": (10, 50, 150, 400),
+    "mem_time": (20, 50, 150),
+    "l2_size": (32 * 1024, 64 * 1024, 256 * 1024),
+    "port_data_occupancy": (8, 40, 120),
+    "si_drain_interval": (1, 4, 32),
+}
+
+
+def slipstream_benefit(workload_name: str, config: MachineConfig,
+                       policy: ARSyncPolicy = G1,
+                       si: bool = False) -> float:
+    """Slipstream speedup over the best of single and double on one
+    machine point."""
+    single = run_mode(make(workload_name), config, "single").exec_cycles
+    double = run_mode(make(workload_name), config, "double").exec_cycles
+    slip = run_mode(make(workload_name), config, "slipstream",
+                    policy=policy, si=si).exec_cycles
+    return min(single, double) / slip
+
+
+def sweep(parameter: str, values: Optional[Iterable[int]] = None,
+          workload_name: str = "ocean", n_cmps: int = 8,
+          policy: ARSyncPolicy = G1, si: bool = False
+          ) -> Dict[int, float]:
+    """Slipstream benefit across one machine parameter.
+
+    Returns ``{parameter_value: benefit}``.  ``si_drain_interval`` sweeps
+    run with SI enabled regardless of ``si`` (the parameter is meaningless
+    otherwise).
+    """
+    if values is None:
+        try:
+            values = DEFAULT_SWEEPS[parameter]
+        except KeyError:
+            raise KeyError(
+                f"no default sweep for {parameter!r}; pass values= or "
+                f"choose from {sorted(DEFAULT_SWEEPS)}") from None
+    if parameter == "si_drain_interval":
+        si = True
+    results: Dict[int, float] = {}
+    for value in values:
+        config = scaled_config(n_cmps, **{parameter: value})
+        results[value] = slipstream_benefit(workload_name, config,
+                                            policy=policy, si=si)
+    return results
+
+
+def latency_sensitivity(workload_name: str = "ocean", n_cmps: int = 8
+                        ) -> Dict[str, Dict[int, float]]:
+    """The headline sweep: how the benefit scales with remote latency.
+
+    Slipstream's premise is hiding remote latency, so its benefit should
+    grow (until A-stream throughput saturates) as the network slows.
+    """
+    return {"net_time": sweep("net_time", workload_name=workload_name,
+                              n_cmps=n_cmps)}

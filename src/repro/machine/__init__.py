@@ -1,0 +1,16 @@
+"""Machine model: processors, CMP nodes, and the full DSM system.
+
+A :class:`~repro.machine.system.System` is ``n_cmps`` dual-processor CMP
+nodes (:class:`~repro.machine.node.CmpNode`), each with two in-order
+processors (:class:`~repro.machine.processor.Processor`) sharing a unified
+L2 cache, connected by the coherence fabric in :mod:`repro.memory`.  All
+timing parameters live in :class:`~repro.machine.config.MachineConfig`,
+whose defaults reproduce Table 1 of the paper.
+"""
+
+from repro.config import MachineConfig
+from repro.machine.node import CmpNode
+from repro.machine.processor import Processor
+from repro.machine.system import System
+
+__all__ = ["CmpNode", "MachineConfig", "Processor", "System"]

@@ -1,0 +1,7 @@
+"""Compatibility shim: the machine configuration lives in
+:mod:`repro.config` (it is imported by the memory subsystem too, which
+must not trigger this package's imports)."""
+
+from repro.config import TABLE1, MachineConfig, water_config
+
+__all__ = ["MachineConfig", "TABLE1", "water_config"]

@@ -1,0 +1,136 @@
+"""In-order processor timing model.
+
+MIPSY-like: one instruction slot per cycle, blocking memory operations.
+The processor provides the primitives executors drive programs with:
+
+* :meth:`do_compute` — private computation (accumulated, no event cost),
+* :meth:`do_load` / :meth:`do_store` — shared-memory ops through the node's
+  L2 controller, with L1-hit fast paths,
+* :meth:`timed_wait` — run a synchronization generator and charge the
+  elapsed cycles to a breakdown category (barrier/lock/arsync).
+
+Cycle accounting follows Figure 6 of the paper: every op costs one *busy*
+cycle; cycles a memory op spends waiting beyond that are *stall*; waits in
+sync routines go to their own categories.
+
+Implementation note — delay accumulation: consecutive compute cycles and
+L1-hit ops are accumulated and flushed as a single engine timeout right
+before the next globally-visible action (an L2/coherence miss or a sync
+operation), which keeps the event count per simulated op near the minimum.
+Two deliberate approximations follow from it: L1 probes and fast-path
+stores to already-owned L2 lines observe node state up to ``acc`` cycles
+early (bounded by the compute burst since the last flush), and the
+sibling-L1 invalidation of a fast store lands equally early.  Both stay
+within the node; cross-node interactions always happen at flushed time.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.config import MachineConfig
+from repro.memory.l2ctrl import L2Controller
+from repro.sim import Engine, Timeout
+from repro.stats.timebreakdown import TimeBreakdown
+
+
+class Processor:
+    """One processor of a CMP node."""
+
+    def __init__(self, engine: Engine, config: MachineConfig,
+                 ctrl: L2Controller, proc_idx: int, space,
+                 name: Optional[str] = None):
+        self.engine = engine
+        self.config = config
+        self.ctrl = ctrl
+        self.proc_idx = proc_idx
+        self.space = space
+        self.name = name or f"cpu[{ctrl.node_id}.{proc_idx}]"
+        self.breakdown = TimeBreakdown()
+        self._acc = 0  # accumulated local delay not yet turned into sim time
+        self.finish_time: Optional[int] = None
+        # statistics
+        self.ops = 0
+        self.loads = 0
+        self.stores = 0
+
+    # ------------------------------------------------------------------
+    # Local time accumulation
+    # ------------------------------------------------------------------
+    def flush(self) -> Generator:
+        """Turn accumulated local delay into simulated time."""
+        if self._acc:
+            delay, self._acc = self._acc, 0
+            yield Timeout(delay)
+
+    def do_compute(self, cycles: int) -> None:
+        self.breakdown.busy += cycles   # hot path: direct attribute bump
+        self._acc += cycles
+
+    # ------------------------------------------------------------------
+    # Memory operations
+    # ------------------------------------------------------------------
+    def do_load(self, role: str, addr: int,
+                transparent: bool = False) -> Generator:
+        """Blocking load; 1 busy cycle + stall for any miss latency."""
+        self.ops += 1
+        self.loads += 1
+        self.breakdown.busy += 1
+        self._acc += 1
+        line_addr = self.space.line_of(addr)
+        l1 = self.ctrl.l1s[self.proc_idx]
+        if l1.lookup(line_addr) is not None:
+            self.ctrl.on_l1_hit(line_addr, role)
+            return
+        yield from self.flush()
+        start = self.engine.now
+        yield from self.ctrl.load(self.proc_idx, role, line_addr,
+                                  transparent=transparent)
+        self.breakdown.add("stall", self.engine.now - start)
+
+    def do_store(self, role: str, addr: int,
+                 in_critical_section: bool = False) -> Generator:
+        """Blocking store; 1 busy cycle + stall for ownership acquisition."""
+        self.ops += 1
+        self.stores += 1
+        self.breakdown.busy += 1
+        self._acc += 1
+        line_addr = self.space.line_of(addr)
+        if self.ctrl.try_fast_store(self.proc_idx, role, line_addr,
+                                    in_critical_section):
+            return
+        yield from self.flush()
+        start = self.engine.now
+        yield from self.ctrl.store(self.proc_idx, role, line_addr,
+                                   in_critical_section=in_critical_section)
+        self.breakdown.add("stall", self.engine.now - start)
+
+    def do_exclusive_prefetch(self, addr: int) -> Generator:
+        """A-stream: fire-and-forget ownership prefetch (1 busy cycle)."""
+        self.ops += 1
+        self.breakdown.busy += 1
+        self._acc += 1
+        yield from self.flush()
+        self.ctrl.exclusive_prefetch(self.space.line_of(addr))
+
+    # ------------------------------------------------------------------
+    # Synchronization waits
+    # ------------------------------------------------------------------
+    def timed_wait(self, wait_gen: Generator, category: str) -> Generator:
+        """Run ``wait_gen`` and charge the elapsed cycles to ``category``."""
+        yield from self.flush()
+        start = self.engine.now
+        result = yield from wait_gen
+        self.breakdown.add(category, self.engine.now - start)
+        return result
+
+    def timed_waitable(self, waitable, category: str) -> Generator:
+        """Wait on a bare waitable, charged to ``category``."""
+        yield from self.flush()
+        start = self.engine.now
+        value = yield waitable
+        self.breakdown.add(category, self.engine.now - start)
+        return value
+
+    def mark_finished(self) -> None:
+        self.finish_time = self.engine.now

@@ -1,0 +1,56 @@
+"""Full machine assembly.
+
+A :class:`System` wires together the engine, address space, coherence
+fabric, CMP nodes, shared allocator, and the request classifier.  It is the
+object workloads allocate against and mode runners execute on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.config import MachineConfig
+from repro.machine.node import CmpNode
+from repro.machine.processor import Processor
+from repro.memory.address import AddressSpace, SharedAllocator
+from repro.memory.protocol import CoherenceFabric
+from repro.sim import NULL_TRACER, Engine, Tracer
+from repro.stats.classify import RequestClassifier
+
+
+class System:
+    """An ``n_cmps``-node CMP-based DSM multiprocessor."""
+
+    def __init__(self, config: MachineConfig,
+                 classify_requests: bool = True, trace: bool = False):
+        self.config = config
+        self.engine = Engine()
+        #: event tracer shared by the fabric and node controllers; a
+        #: do-nothing singleton unless ``trace`` is requested
+        self.tracer = Tracer(self.engine) if trace else NULL_TRACER
+        self.space = AddressSpace(config.n_cmps, config.line_size,
+                                  config.page_size)
+        self.allocator = SharedAllocator(self.space)
+        self.classifier: Optional[RequestClassifier] = (
+            RequestClassifier() if classify_requests else None)
+        self.fabric = CoherenceFabric(self.engine, config, self.space,
+                                      tracer=self.tracer)
+        self.nodes: List[CmpNode] = [
+            CmpNode(self.engine, config, node_id, self.fabric, self.space,
+                    classifier=self.classifier)
+            for node_id in range(config.n_cmps)]
+
+    def processor(self, node_id: int, proc_idx: int) -> Processor:
+        return self.nodes[node_id].processor(proc_idx)
+
+    def run(self, until: Optional[int] = None) -> int:
+        """Drive the simulation to completion; returns the final cycle."""
+        return self.engine.run(until=until)
+
+    def finalize(self) -> None:
+        """Resolve end-of-run classification state (call after ``run``)."""
+        if self.classifier is None:
+            return
+        for node in self.nodes:
+            node.ctrl.finalize_classification()
+        self.classifier.finalize()

@@ -1,0 +1,41 @@
+"""Memory system: address space, caches, directory coherence, interconnect.
+
+The memory system is where slipstream's benefits (and costs) play out, so it
+is the most detailed part of the model:
+
+* :mod:`repro.memory.address` — shared address space, line/page geometry,
+  page-round-robin home-node mapping, and the array allocator workloads use.
+* :mod:`repro.memory.cache` — set-associative LRU tag arrays for the private
+  L1s and the shared per-node L2, including the *transparent* and *SI-hint*
+  line flags that Section 4 of the paper adds.
+* :mod:`repro.memory.network` — fixed-delay interconnect with contention at
+  per-node input/output ports.
+* :mod:`repro.memory.directory` — fully-mapped invalidate directory state,
+  including the future-sharer list.
+* :mod:`repro.memory.protocol` — the coherence fabric: GETS / GETX / UPGRADE
+  / transparent-load transactions, interventions, invalidation fan-out,
+  writebacks, all charged with Table 1 latencies and occupancies.
+* :mod:`repro.memory.l2ctrl` — the node-side shared-L2 controller: hit/miss
+  paths, MSHR merging of the two on-chip processors' requests, evictions,
+  exclusive prefetch, and the self-invalidation drain.
+"""
+
+from repro.memory.address import AddressSpace, SharedAllocator, SharedArray
+from repro.memory.cache import Cache, CacheLine
+from repro.memory.directory import DirectoryEntry, DirectoryState
+from repro.memory.l2ctrl import L2Controller
+from repro.memory.network import Network
+from repro.memory.protocol import CoherenceFabric
+
+__all__ = [
+    "AddressSpace",
+    "Cache",
+    "CacheLine",
+    "CoherenceFabric",
+    "DirectoryEntry",
+    "DirectoryState",
+    "L2Controller",
+    "Network",
+    "SharedAllocator",
+    "SharedArray",
+]

@@ -1,0 +1,163 @@
+"""Shared address space, home-node mapping, and array allocation.
+
+Workloads allocate named shared arrays through :class:`SharedAllocator` and
+compute element addresses with :meth:`SharedArray.addr`.  Addresses are plain
+integers; the cache/directory layers only ever see *line* addresses
+(``addr >> line_shift``).
+
+Home-node assignment is page-granular round-robin, approximating the
+physically-distributed memory of an Origin-class machine without modeling an
+OS page allocator.  Workloads that want locality can allocate per-task
+arrays with :meth:`SharedAllocator.alloc_on`, which places the pages on a
+chosen home node (the moral equivalent of first-touch placement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+
+class AddressSpace:
+    """Geometry of the shared address space.
+
+    Translates byte addresses to cache-line and page numbers and maps each
+    page to its home node.
+    """
+
+    def __init__(self, n_nodes: int, line_size: int = 64, page_size: int = 4096):
+        if n_nodes < 1:
+            raise ValueError("need at least one node")
+        if line_size & (line_size - 1) or page_size & (page_size - 1):
+            raise ValueError("line and page sizes must be powers of two")
+        if page_size % line_size:
+            raise ValueError("page size must be a multiple of line size")
+        self.n_nodes = n_nodes
+        self.line_size = line_size
+        self.page_size = page_size
+        self.line_shift = line_size.bit_length() - 1
+        self.page_shift = page_size.bit_length() - 1
+        # page -> home overrides for placed allocations
+        self._page_homes: Dict[int, int] = {}
+
+    def line_of(self, addr: int) -> int:
+        return addr >> self.line_shift
+
+    def page_of(self, addr: int) -> int:
+        return addr >> self.page_shift
+
+    def page_of_line(self, line: int) -> int:
+        return line >> (self.page_shift - self.line_shift)
+
+    def home_of_line(self, line: int) -> int:
+        """Home node of a cache line (owner of its directory entry)."""
+        page = self.page_of_line(line)
+        override = self._page_homes.get(page)
+        if override is not None:
+            return override
+        return page % self.n_nodes
+
+    def place_page(self, page: int, node: int) -> None:
+        if not 0 <= node < self.n_nodes:
+            raise ValueError(f"node {node} out of range")
+        self._page_homes[page] = node
+
+    def lines_in_range(self, base: int, nbytes: int) -> Iterator[int]:
+        first = self.line_of(base)
+        last = self.line_of(base + nbytes - 1)
+        return iter(range(first, last + 1))
+
+
+@dataclass(frozen=True)
+class SharedArray:
+    """Handle to a shared, row-major, fixed-element-size array."""
+
+    name: str
+    base: int
+    shape: Tuple[int, ...]
+    elem_size: int
+
+    @property
+    def nbytes(self) -> int:
+        total = self.elem_size
+        for dim in self.shape:
+            total *= dim
+        return total
+
+    @property
+    def size(self) -> int:
+        total = 1
+        for dim in self.shape:
+            total *= dim
+        return total
+
+    def addr(self, *idx: int) -> int:
+        """Byte address of element ``[i, j, ...]`` (row-major, bounds-checked)."""
+        if len(idx) != len(self.shape):
+            raise IndexError(
+                f"{self.name}: expected {len(self.shape)} indices, got {len(idx)}")
+        flat = 0
+        for i, (index, dim) in enumerate(zip(idx, self.shape)):
+            if not 0 <= index < dim:
+                raise IndexError(
+                    f"{self.name}: index {index} out of range for axis {i} (dim {dim})")
+            flat = flat * dim + index
+        return self.base + flat * self.elem_size
+
+    def addr_flat(self, flat: int) -> int:
+        """Byte address of the ``flat``-th element (no per-axis checks)."""
+        if not 0 <= flat < self.size:
+            raise IndexError(f"{self.name}: flat index {flat} out of range")
+        return self.base + flat * self.elem_size
+
+
+class SharedAllocator:
+    """Page-aligned bump allocator for the shared segment.
+
+    Arrays never share a page, so home-node placement is per-array where
+    requested and deterministic everywhere.
+    """
+
+    def __init__(self, space: AddressSpace, base: int = 0x1000_0000):
+        self.space = space
+        self._next = base
+        self._arrays: Dict[str, SharedArray] = {}
+
+    def alloc(self, name: str, shape: Sequence[int], elem_size: int = 8) -> SharedArray:
+        """Allocate a shared array with default (round-robin) page homes."""
+        return self._alloc(name, shape, elem_size, node=None)
+
+    def alloc_on(self, name: str, shape: Sequence[int], node: int,
+                 elem_size: int = 8) -> SharedArray:
+        """Allocate a shared array whose pages are homed on ``node``."""
+        return self._alloc(name, shape, elem_size, node=node)
+
+    def _alloc(self, name: str, shape: Sequence[int], elem_size: int,
+               node: Optional[int]) -> SharedArray:
+        if name in self._arrays:
+            raise ValueError(f"shared array {name!r} already allocated")
+        if not shape or any(dim <= 0 for dim in shape):
+            raise ValueError(f"invalid shape {tuple(shape)}")
+        if elem_size <= 0:
+            raise ValueError("elem_size must be positive")
+        array = SharedArray(name, self._next, tuple(shape), elem_size)
+        page_size = self.space.page_size
+        n_pages = (array.nbytes + page_size - 1) // page_size
+        if node is not None:
+            first_page = self.space.page_of(array.base)
+            for page in range(first_page, first_page + n_pages):
+                self.space.place_page(page, node)
+        self._next += n_pages * page_size
+        self._arrays[name] = array
+        return array
+
+    def get(self, name: str) -> SharedArray:
+        return self._arrays[name]
+
+    @property
+    def arrays(self) -> List[SharedArray]:
+        return list(self._arrays.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(a.nbytes for a in self._arrays.values())

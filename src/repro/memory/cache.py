@@ -1,0 +1,206 @@
+"""Set-associative cache tag arrays.
+
+Used both for the per-processor L1s and the per-node shared L2.  Lines carry
+the coherence state plus the slipstream-specific flags from Section 4 of the
+paper:
+
+* ``transparent`` — the line was filled by a transparent reply and is
+  visible only to the A-stream (the R-stream must treat it as a miss).
+* ``si_hint`` — the directory advised this node to self-invalidate the line
+  at the next synchronization point.
+* ``written_in_cs`` — the line was last written inside a critical section,
+  so a self-invalidation treats it as migratory (invalidate) rather than
+  producer-consumer (writeback + downgrade).
+
+States follow a simple MSI convention: ``'I'`` invalid, ``'S'`` shared
+(clean), ``'M'`` modified/exclusive.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+INVALID = "I"
+SHARED = "S"
+MODIFIED = "M"
+
+_VALID_STATES = (SHARED, MODIFIED)
+
+
+class CacheLine:
+    """One resident cache line."""
+
+    __slots__ = ("line_addr", "state", "transparent", "si_hint",
+                 "written_in_cs", "lru_stamp", "insert_stamp",
+                 "fetcher_role", "used_by_r", "fetch_kind")
+
+    def __init__(self, line_addr: int, state: str):
+        self.line_addr = line_addr
+        self.state = state
+        self.transparent = False
+        self.si_hint = False
+        self.written_in_cs = False
+        self.lru_stamp = 0
+        self.insert_stamp = 0
+        # --- classification bookkeeping (see repro.stats.classify) ---
+        #: 'A' or 'R': which stream's request filled this line
+        self.fetcher_role: Optional[str] = None
+        #: True once the R-stream has referenced an A-fetched line
+        self.used_by_r = False
+        #: 'read' or 'excl': request type that filled the line
+        self.fetch_kind: Optional[str] = None
+
+    def __repr__(self) -> str:
+        flags = "".join(flag for flag, on in (
+            ("t", self.transparent), ("h", self.si_hint),
+            ("c", self.written_in_cs)) if on)
+        return f"<Line {self.line_addr:#x} {self.state}{(':' + flags) if flags else ''}>"
+
+
+REPLACEMENT_POLICIES = ("lru", "fifo", "random")
+
+
+class Cache:
+    """Set-associative tag array with configurable replacement.
+
+    The cache stores no data — only tags, states, and flags.  Geometry is
+    ``size / (assoc * line_size)`` sets.  ``on_evict`` (if given) is called
+    with the victim :class:`CacheLine` whenever an insertion displaces one.
+    Replacement is LRU by default; ``policy`` may also select FIFO or a
+    deterministically-seeded random policy.
+    """
+
+    def __init__(self, size: int, assoc: int, line_size: int,
+                 name: str = "cache",
+                 on_evict: Optional[Callable[[CacheLine], None]] = None,
+                 policy: str = "lru", seed: int = 0x5eed):
+        if size % (assoc * line_size):
+            raise ValueError("cache size must be a multiple of assoc * line_size")
+        if policy not in REPLACEMENT_POLICIES:
+            raise ValueError(f"unknown replacement policy {policy!r}; "
+                             f"choose from {REPLACEMENT_POLICIES}")
+        self.size = size
+        self.assoc = assoc
+        self.line_size = line_size
+        self.name = name
+        self.policy = policy
+        self.n_sets = size // (assoc * line_size)
+        if self.n_sets & (self.n_sets - 1):
+            raise ValueError("number of sets must be a power of two")
+        self.on_evict = on_evict
+        if policy == "random":
+            import random
+            import zlib
+            # zlib.crc32 is stable across processes (str hash is not),
+            # keeping random replacement reproducible run-to-run.
+            self._rng = random.Random(seed ^ zlib.crc32(name.encode()))
+        else:
+            self._rng = None
+        self._sets: List[Dict[int, CacheLine]] = [dict() for _ in range(self.n_sets)]
+        self._stamp = 0
+        # statistics
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations_received = 0
+
+    def _set_of(self, line_addr: int) -> Dict[int, CacheLine]:
+        return self._sets[line_addr & (self.n_sets - 1)]
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def probe(self, line_addr: int) -> Optional[CacheLine]:
+        """Tag check without touching LRU or hit/miss counters."""
+        return self._set_of(line_addr).get(line_addr)
+
+    def lookup(self, line_addr: int) -> Optional[CacheLine]:
+        """Tag check that updates LRU and hit/miss statistics."""
+        line = self._set_of(line_addr).get(line_addr)
+        if line is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._stamp += 1
+        line.lru_stamp = self._stamp
+        return line
+
+    # ------------------------------------------------------------------
+    # Insertion / removal
+    # ------------------------------------------------------------------
+    def insert(self, line_addr: int, state: str) -> CacheLine:
+        """Install (or re-install) a line; evicts the LRU victim if needed.
+
+        Returns the installed :class:`CacheLine`.  The victim, if any, is
+        handed to ``on_evict`` *before* the new line is installed.
+        """
+        if state not in _VALID_STATES:
+            raise ValueError(f"cannot insert line in state {state!r}")
+        cache_set = self._set_of(line_addr)
+        line = cache_set.get(line_addr)
+        if line is None:
+            if len(cache_set) >= self.assoc:
+                victim = self._choose_victim(cache_set)
+                self._evict(cache_set, victim)
+            line = CacheLine(line_addr, state)
+            self._stamp += 1
+            line.insert_stamp = self._stamp
+            cache_set[line_addr] = line
+        else:
+            # Re-fill of a resident line (e.g. R-stream replacing a
+            # transparent copy): reset per-fill flags.
+            line.state = state
+            line.transparent = False
+            line.si_hint = False
+            line.written_in_cs = False
+            line.used_by_r = False
+        self._stamp += 1
+        line.lru_stamp = self._stamp
+        return line
+
+    def _choose_victim(self, cache_set: Dict[int, CacheLine]) -> CacheLine:
+        lines = list(cache_set.values())
+        if self.policy == "lru":
+            return min(lines, key=lambda l: l.lru_stamp)
+        if self.policy == "fifo":
+            return min(lines, key=lambda l: l.insert_stamp)
+        return self._rng.choice(lines)
+
+    def _evict(self, cache_set: Dict[int, CacheLine], victim: CacheLine) -> None:
+        del cache_set[victim.line_addr]
+        self.evictions += 1
+        if self.on_evict is not None:
+            self.on_evict(victim)
+
+    def invalidate(self, line_addr: int) -> Optional[CacheLine]:
+        """Remove a line (external invalidation).  Returns it, or None."""
+        cache_set = self._set_of(line_addr)
+        line = cache_set.pop(line_addr, None)
+        if line is not None:
+            self.invalidations_received += 1
+        return line
+
+    def downgrade(self, line_addr: int) -> Optional[CacheLine]:
+        """Drop M -> S (intervention / self-invalidation writeback)."""
+        line = self._set_of(line_addr).get(line_addr)
+        if line is not None and line.state == MODIFIED:
+            line.state = SHARED
+            line.written_in_cs = False
+        return line
+
+    # ------------------------------------------------------------------
+    # Introspection (tests, SI drain)
+    # ------------------------------------------------------------------
+    def resident_lines(self) -> List[CacheLine]:
+        return [line for cache_set in self._sets for line in cache_set.values()]
+
+    def lines_with_si_hint(self) -> List[CacheLine]:
+        return [line for line in self.resident_lines() if line.si_hint]
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(cache_set) for cache_set in self._sets)
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,136 @@
+"""Fully-mapped directory state.
+
+One directory entry per cache line (allocated lazily), kept at the line's
+home node.  The entry records the classic invalidate-protocol state —
+uncached / shared / exclusive with a sharer bit-vector — plus the
+**future-sharer list** that Section 4 of the paper adds: nodes whose
+A-streams issued transparent loads for the line, used to generate
+self-invalidation hints.
+
+Directory transactions for a given line are serialized by a per-line guard
+(the "busy bit" of real directory protocols); the protocol layer acquires it
+before reading or mutating the entry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.sim import Engine, SimSemaphore
+
+UNCACHED = "U"
+SHARED = "S"
+EXCLUSIVE = "E"
+
+
+class DirectoryEntry:
+    """Directory state for a single cache line."""
+
+    __slots__ = ("state", "sharers", "owner", "future_sharers",
+                 "migrations", "last_writer")
+
+    def __init__(self) -> None:
+        self.state = UNCACHED
+        self.sharers: Set[int] = set()
+        self.owner: Optional[int] = None
+        self.future_sharers: Set[int] = set()
+        #: ownership transfers between *different* nodes — the signal the
+        #: migratory-sharing optimization keys on.  Unlike ``owner`` this
+        #: survives downgrades and writebacks, so the read-then-upgrade
+        #: pattern of migratory data is visible.
+        self.migrations = 0
+        self.last_writer: Optional[int] = None
+
+    def __repr__(self) -> str:
+        return (f"<DirEntry {self.state} sharers={sorted(self.sharers)} "
+                f"owner={self.owner} future={sorted(self.future_sharers)}>")
+
+    # ------------------------------------------------------------------
+    # State transitions (metadata only; latencies are charged by the
+    # protocol layer)
+    # ------------------------------------------------------------------
+    def add_sharer(self, node: int) -> None:
+        if self.state == EXCLUSIVE:
+            raise RuntimeError("cannot add sharer to an exclusive entry")
+        self.state = SHARED
+        self.sharers.add(node)
+
+    def set_exclusive(self, node: int) -> None:
+        if self.last_writer is not None and self.last_writer != node:
+            self.migrations += 1
+        self.last_writer = node
+        self.state = EXCLUSIVE
+        self.owner = node
+        self.sharers = set()
+
+    def downgrade_owner_to_sharer(self) -> None:
+        if self.state != EXCLUSIVE:
+            raise RuntimeError("downgrade on non-exclusive entry")
+        owner = self.owner
+        self.state = SHARED
+        self.owner = None
+        self.sharers = {owner}
+
+    def clear(self) -> None:
+        self.state = UNCACHED
+        self.sharers = set()
+        self.owner = None
+
+    def remove_sharer(self, node: int) -> None:
+        self.sharers.discard(node)
+        if self.state == SHARED and not self.sharers:
+            self.state = UNCACHED
+
+    def is_cached_by(self, node: int) -> bool:
+        return node == self.owner or node in self.sharers
+
+
+class DirectoryState:
+    """All directory entries plus the per-line transaction guards."""
+
+    def __init__(self, engine: Engine):
+        self.engine = engine
+        self._entries: Dict[int, DirectoryEntry] = {}
+        self._guards: Dict[int, SimSemaphore] = {}
+
+    def entry(self, line: int) -> DirectoryEntry:
+        entry = self._entries.get(line)
+        if entry is None:
+            entry = DirectoryEntry()
+            self._entries[line] = entry
+        return entry
+
+    def peek(self, line: int) -> Optional[DirectoryEntry]:
+        """Entry if it exists (no allocation) — for tests and stats."""
+        return self._entries.get(line)
+
+    def guard(self, line: int) -> SimSemaphore:
+        """Per-line mutual-exclusion semaphore (directory busy bit)."""
+        guard = self._guards.get(line)
+        if guard is None:
+            guard = SimSemaphore(self.engine, initial=1)
+            self._guards[line] = guard
+        return guard
+
+    # ------------------------------------------------------------------
+    # Future-sharer bookkeeping (Section 4.2)
+    # ------------------------------------------------------------------
+    def add_future_sharer(self, line: int, node: int) -> None:
+        self.entry(line).future_sharers.add(node)
+
+    def reset_future_sharer(self, line: int, node: int) -> None:
+        """Clear one node's future-sharer bit.
+
+        Called when the line is evicted from that node, or when an R-stream
+        request from that node reaches the directory (the sharing is no
+        longer "future").
+        """
+        entry = self._entries.get(line)
+        if entry is not None:
+            entry.future_sharers.discard(node)
+
+    def future_sharers_other_than(self, line: int, node: int) -> Set[int]:
+        entry = self._entries.get(line)
+        if entry is None:
+            return set()
+        return entry.future_sharers - {node}

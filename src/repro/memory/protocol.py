@@ -1,0 +1,378 @@
+"""Coherence fabric: directory transactions with Table 1 timing.
+
+This module implements the invalidate-based fully-mapped directory protocol
+the paper simulates, as *transaction generators* that the node-side L2
+controller runs inline in the requesting processor's process.  A transaction
+walks the message path of the real protocol, charging:
+
+* ``bus_time`` for each L2 <-> DC hop,
+* DC occupancy (a FIFO :class:`~repro.sim.Resource` per node) with the
+  Table 1 service times (``pi_local_dc``/``pi_remote_dc``/``ni_local_dc``/
+  ``ni_remote_dc``),
+* network port occupancy + ``net_time`` transit for each network hop,
+* ``mem_time`` for each DRAM access at the home.
+
+With no contention this yields exactly the paper's 170-cycle local and
+290-cycle remote clean-miss latencies (asserted in the test suite).
+
+Directory entries are guarded per line, so transactions on the same line
+serialize, as with a real directory's busy bit.  Cache evictions update the
+directory metadata synchronously (the timing of the writeback is charged
+asynchronously); interventions that race with an eviction fall back to a
+memory fetch, which is how real protocols resolve the same race.
+
+Section 4 support: transparent loads (:meth:`CoherenceFabric.fetch` with
+``kind='transparent'``), the future-sharer list, and self-invalidation
+hints delivered either directly to an exclusive owner or piggybacked on a
+read-exclusive reply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Generator, List, Optional
+
+from repro.config import MachineConfig
+from repro.memory import cache as cachemod
+from repro.memory.address import AddressSpace
+from repro.memory.directory import (EXCLUSIVE, SHARED, UNCACHED,
+                                    DirectoryEntry, DirectoryState)
+from repro.memory.network import Network
+from repro.sim import Engine, Process, Resource, Timeout
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.memory.l2ctrl import L2Controller
+
+#: request kinds accepted by :meth:`CoherenceFabric.fetch`
+READ = "read"          # GETS
+EXCL = "excl"          # GETX (read-exclusive)
+UPGRADE = "upgrade"    # ownership upgrade, requester already shares
+TRANSPARENT = "transparent"  # A-stream transparent load
+
+
+@dataclass
+class FetchResult:
+    """Outcome of a coherence transaction, as seen by the requesting L2."""
+
+    #: state to install the line in ('S' or 'M')
+    state: str
+    #: fill is a transparent (A-visible-only) copy
+    transparent: bool = False
+    #: directory piggybacked a self-invalidation hint on the reply
+    si_hint: bool = False
+    #: the transparent request was upgraded to a normal load
+    upgraded: bool = False
+    #: the home node was the requester itself (local miss)
+    local: bool = False
+
+
+class CoherenceFabric:
+    """Distributed directory + interconnect for one simulated machine."""
+
+    def __init__(self, engine: Engine, config: MachineConfig,
+                 space: AddressSpace, tracer=None):
+        self.engine = engine
+        self.config = config
+        self.space = space
+        from repro.sim import NULL_TRACER
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.directory = DirectoryState(engine)
+        self.network = Network(
+            engine, config.n_cmps, config.net_time,
+            config.port_data_occupancy, config.port_ctrl_occupancy)
+        self.dcs: List[Resource] = [
+            Resource(engine, f"dc[{i}]") for i in range(config.n_cmps)]
+        self._nodes: Dict[int, "L2Controller"] = {}
+        #: when False, the directory never generates self-invalidation
+        #: hints (transparent loads still work; Figure 10's middle bar)
+        self.si_enabled = True
+        #: migratory-sharing optimization (an extension in the spirit of
+        #: the paper's Section 5 pointers): a read of a line with a
+        #: migratory ownership history is granted *exclusive*, saving the
+        #: reader's follow-up upgrade
+        self.migratory_enabled = False
+        #: ownership transfers a line needs before it is deemed migratory
+        self.migratory_threshold = 2
+        # statistics
+        self.transactions = 0
+        self.interventions = 0
+        self.intervention_races = 0
+        self.invalidations_sent = 0
+        self.si_hints_sent = 0
+        self.transparent_replies = 0
+        self.upgraded_transparent = 0
+        self.migratory_grants = 0
+        self.writebacks = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def register_node(self, node_id: int, controller: "L2Controller") -> None:
+        self._nodes[node_id] = controller
+
+    def node(self, node_id: int) -> "L2Controller":
+        return self._nodes[node_id]
+
+    # ------------------------------------------------------------------
+    # Main request path
+    # ------------------------------------------------------------------
+    def fetch(self, node: int, line: int, kind: str,
+              role: str = "R") -> Generator:
+        """Full coherence transaction for a miss at ``node``.
+
+        Generator (``yield from`` it); returns a :class:`FetchResult`.
+        ``kind`` is one of ``read``/``excl``/``upgrade``/``transparent``;
+        ``role`` is ``'R'`` or ``'A'`` (the requesting stream).
+        """
+        if kind not in (READ, EXCL, UPGRADE, TRANSPARENT):
+            raise ValueError(f"unknown request kind {kind!r}")
+        self.transactions += 1
+        if self.tracer.enabled:  # skip f-string building on the hot path
+            self.tracer.record("txn", f"node{node}",
+                               f"{kind} line={line:#x} role={role}")
+        config = self.config
+        home = self.space.home_of_line(line)
+        local = home == node
+
+        # L2 -> DC hop at the requester.
+        yield Timeout(config.bus_time)
+        if local:
+            yield self.dcs[node].serve(config.pi_local_dc_time)
+        else:
+            yield self.dcs[node].serve(config.pi_remote_dc_time)
+            yield from self.network.transfer(node, home, data=False)
+            yield self.dcs[home].serve(config.ni_local_dc_time)
+
+        # Serialize on the line's directory entry.
+        guard = self.directory.guard(line)
+        yield guard.acquire()
+        try:
+            result = yield from self._at_home(node, home, line, kind, role)
+        finally:
+            guard.release()
+
+        # Reply back to the requester.  Every reply is charged as a data
+        # message — a deliberate simplification (upgrade acks are smaller
+        # in reality, but rare enough not to earn a message class here).
+        if not local:
+            yield from self.network.transfer(home, node, data=True)
+            yield self.dcs[node].serve(config.ni_remote_dc_time)
+        yield Timeout(config.bus_time)
+        result.local = local
+        return result
+
+    # ------------------------------------------------------------------
+    # Directory-side actions (run while holding the line guard)
+    # ------------------------------------------------------------------
+    def _at_home(self, node: int, home: int, line: int, kind: str,
+                 role: str) -> Generator:
+        entry = self.directory.entry(line)
+
+        # Any R-stream request reaching the directory consumes that node's
+        # future-sharer bit (Section 4.2).
+        if role == "R":
+            self.directory.reset_future_sharer(line, node)
+
+        if kind == TRANSPARENT:
+            return (yield from self._transparent_at_home(node, home, line, entry))
+        if kind == READ:
+            return (yield from self._read_at_home(node, home, line, entry))
+        # EXCL and UPGRADE share the ownership-acquisition path.
+        return (yield from self._excl_at_home(node, home, line, entry, kind))
+
+    def _read_at_home(self, node: int, home: int, line: int,
+                      entry: DirectoryEntry) -> Generator:
+        config = self.config
+        if entry.state == EXCLUSIVE and entry.owner != node:
+            if (self.migratory_enabled
+                    and entry.migrations >= self.migratory_threshold):
+                # Migratory grant: hand the reader exclusive ownership in
+                # one transaction (it is about to write anyway).
+                self.migratory_grants += 1
+                self.tracer.record("migratory", f"node{node}",
+                                   f"line={line:#x}")
+                yield from self._intervene(home, line, entry,
+                                           invalidate=True)
+                entry.set_exclusive(node)
+                return FetchResult(state=cachemod.MODIFIED)
+            # Intervention: pull the dirty copy out of the owner's cache.
+            yield from self._intervene(home, line, entry, invalidate=False)
+            entry.add_sharer(node)
+            return FetchResult(state=cachemod.SHARED)
+        if entry.state == EXCLUSIVE and entry.owner == node:
+            # Raced with our own writeback; serve from memory.
+            entry.clear()
+        yield Timeout(config.mem_time)
+        entry.add_sharer(node)
+        return FetchResult(state=cachemod.SHARED)
+
+    def _excl_at_home(self, node: int, home: int, line: int,
+                      entry: DirectoryEntry, kind: str) -> Generator:
+        config = self.config
+        if entry.state == EXCLUSIVE:
+            if entry.owner == node:
+                # Already owner (raced upgrade); just confirm.
+                return FetchResult(state=cachemod.MODIFIED)
+            yield from self._intervene(home, line, entry, invalidate=True)
+        elif entry.state == SHARED:
+            others = sorted(entry.sharers - {node})
+            if others:
+                yield from self._invalidate_sharers(home, line, others)
+            needs_data = kind == EXCL or node not in entry.sharers
+            if needs_data:
+                yield Timeout(config.mem_time)
+        else:  # UNCACHED
+            yield Timeout(config.mem_time)
+        entry.set_exclusive(node)
+        si_hint = (self.si_enabled and
+                   bool(self.directory.future_sharers_other_than(line, node)))
+        return FetchResult(state=cachemod.MODIFIED, si_hint=si_hint)
+
+    def _transparent_at_home(self, node: int, home: int, line: int,
+                             entry: DirectoryEntry) -> Generator:
+        """Section 4.1: transparent load.
+
+        Exclusive line: reply with the (possibly stale) memory copy, do not
+        disturb the owner, record the requester as a future sharer, and send
+        the owner a self-invalidation hint.  Non-exclusive: upgrade to a
+        normal load; the requester becomes both sharer and future sharer.
+        """
+        config = self.config
+        self.directory.add_future_sharer(line, node)
+        if entry.state == EXCLUSIVE and entry.owner != node:
+            owner = entry.owner
+            self.transparent_replies += 1
+            yield Timeout(config.mem_time)
+            # The owner may have written the line back while memory was
+            # being read; only hint a still-standing exclusive owner.
+            if (self.si_enabled and entry.state == EXCLUSIVE
+                    and entry.owner == owner):
+                self._send_si_hint(home, owner, line)
+            return FetchResult(state=cachemod.SHARED, transparent=True)
+        # shared / uncached / (degenerate: we are the owner) -> normal load
+        self.upgraded_transparent += 1
+        if entry.state == EXCLUSIVE and entry.owner == node:
+            entry.clear()
+        yield Timeout(config.mem_time)
+        entry.add_sharer(node)
+        return FetchResult(state=cachemod.SHARED, upgraded=True)
+
+    # ------------------------------------------------------------------
+    # Remote-cache operations
+    # ------------------------------------------------------------------
+    def _intervene(self, home: int, line: int, entry: DirectoryEntry,
+                   invalidate: bool) -> Generator:
+        """Pull a dirty line from its exclusive owner back to the home.
+
+        ``invalidate`` distinguishes a read-exclusive intervention (owner's
+        copy is invalidated) from a read intervention (owner is downgraded
+        to sharer).  If the owner has concurrently written the line back
+        (eviction race), fall back to plain memory access.
+        """
+        config = self.config
+        owner = entry.owner
+        self.interventions += 1
+        self.tracer.record("intervention", f"node{owner}",
+                           f"line={line:#x} invalidate={invalidate}")
+        yield from self.network.transfer(home, owner, data=False)
+        yield self.dcs[owner].serve(config.ni_remote_dc_time)
+        yield Timeout(config.bus_time)  # DC -> L2 at the owner
+        controller = self._nodes[owner]
+        had_line = (controller.apply_invalidate(line) if invalidate
+                    else controller.apply_downgrade(line))
+        yield Timeout(config.l2_hit_cycles)  # owner L2 array access
+        yield Timeout(config.bus_time)  # L2 -> DC at the owner
+        yield self.dcs[owner].serve(config.pi_remote_dc_time)
+        yield from self.network.transfer(owner, home, data=True)
+        yield Timeout(config.mem_time)  # sharing/ownership writeback at home
+        if not had_line:
+            self.intervention_races += 1
+        # The owner may have concurrently written the line back (eviction
+        # or self-invalidation race): the writeback already updated the
+        # entry, so only transition if we are still the exclusive owner's
+        # intervention.
+        if entry.state == EXCLUSIVE and entry.owner == owner:
+            if invalidate:
+                entry.clear()
+            else:
+                entry.downgrade_owner_to_sharer()
+
+    def _invalidate_sharers(self, home: int, line: int,
+                            sharers: List[int]) -> Generator:
+        """Fan out invalidations to all sharers in parallel; wait for acks."""
+        config = self.config
+        self.invalidations_sent += len(sharers)
+
+        def one(sharer: int) -> Generator:
+            # A home-node sharer skips the network but still pays two DC
+            # occupancies (deliver + ack): the controller really does
+            # handle both ends of a local invalidation.
+            if sharer != home:
+                yield from self.network.transfer(home, sharer, data=False)
+            yield self.dcs[sharer].serve(config.ni_remote_dc_time)
+            self._nodes[sharer].apply_invalidate(line)
+            if sharer != home:
+                yield from self.network.transfer(sharer, home, data=False)
+            yield self.dcs[home].serve(config.ni_remote_dc_time)
+
+        children = [Process(self.engine, one(s), name=f"inv-{line:#x}-{s}")
+                    for s in sharers]
+        for child in children:
+            yield child  # join
+
+    # ------------------------------------------------------------------
+    # Self-invalidation hints (asynchronous control messages)
+    # ------------------------------------------------------------------
+    def _send_si_hint(self, home: int, owner: int, line: int) -> None:
+        self.si_hints_sent += 1
+        self.tracer.record("si-hint", f"node{owner}", f"line={line:#x}")
+        controller = self._nodes[owner]
+        if owner == home:
+            self.engine.schedule(self.config.bus_time,
+                                 lambda: controller.apply_si_hint(line))
+            return
+        self.network.post_transfer(home, owner, data=False)
+        arrival = self.config.port_ctrl_occupancy + self.config.net_time
+        self.engine.schedule(arrival, lambda: controller.apply_si_hint(line))
+
+    # ------------------------------------------------------------------
+    # Eviction / writeback paths (metadata now, timing asynchronous)
+    # ------------------------------------------------------------------
+    def writeback(self, node: int, line: int) -> None:
+        """Dirty eviction (or SI invalidation of a dirty line): the home's
+        entry is cleared and the writeback's occupancy is charged without
+        blocking the evicting node."""
+        entry = self.directory.entry(line)
+        if entry.state == EXCLUSIVE and entry.owner == node:
+            entry.clear()
+        self.writebacks += 1
+        self._post_writeback_traffic(node, line)
+
+    def writeback_downgrade(self, node: int, line: int) -> None:
+        """Self-invalidation of a producer-consumer line: data goes back to
+        memory and the owner keeps a shared copy."""
+        entry = self.directory.entry(line)
+        if entry.state == EXCLUSIVE and entry.owner == node:
+            entry.downgrade_owner_to_sharer()
+        self.writebacks += 1
+        self._post_writeback_traffic(node, line)
+
+    def replacement_hint(self, node: int, line: int,
+                         transparent: bool) -> None:
+        """Clean eviction: tell the home so the sharer vector and the
+        future-sharer bit stay in sync (cheap control message)."""
+        entry = self.directory.peek(line)
+        if entry is not None and not transparent:
+            entry.remove_sharer(node)
+        self.directory.reset_future_sharer(line, node)
+        home = self.space.home_of_line(line)
+        self.network.post_transfer(node, home, data=False)
+
+    def _post_writeback_traffic(self, node: int, line: int) -> None:
+        home = self.space.home_of_line(line)
+        self.directory.reset_future_sharer(line, node)
+        if home == node:
+            self.dcs[node].post(self.config.pi_local_dc_time)
+        else:
+            self.dcs[node].post(self.config.pi_remote_dc_time)
+            self.network.post_transfer(node, home, data=True)

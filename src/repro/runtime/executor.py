@@ -1,0 +1,145 @@
+"""Drives a task program on a processor (single/double-mode semantics).
+
+:class:`TaskExecutor` is the conventional executor: every op is performed.
+The slipstream R-stream executor subclasses it to add token insertion,
+deviation checking, input forwarding, and self-invalidation kicks; the
+A-stream executor (different op semantics entirely) lives in
+:mod:`repro.slipstream.astream`.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Iterator, Optional
+
+from repro.machine.processor import Processor
+from repro.runtime import ops as op
+from repro.runtime.sync import SyncRegistry
+from repro.runtime.task import TaskContext
+from repro.sim import Process
+
+
+class TaskExecutor:
+    """Executes a program's ops one-for-one (conventional task)."""
+
+    def __init__(self, processor: Processor, ctx: TaskContext,
+                 program: Iterator, registry: SyncRegistry,
+                 name: Optional[str] = None):
+        self.processor = processor
+        self.ctx = ctx
+        self.program = program
+        self.registry = registry
+        self.name = name or f"task{ctx.task_id}({ctx.role})"
+        self.session = 0          # completed sessions (barrier/event-waits)
+        self.cs_depth = 0         # critical-section nesting
+        self.process: Optional[Process] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> Process:
+        self.process = Process(self.processor.engine, self._run(),
+                               name=self.name)
+        return self.process
+
+    def _run(self) -> Generator:
+        do_compute = self.processor.do_compute
+        for operation in self.program:
+            # Compute is the most common op and never suspends: handle it
+            # inline instead of allocating a dispatch generator for it.
+            if type(operation) is op.Compute:
+                do_compute(operation.cycles)
+                continue
+            yield from self.dispatch(operation)
+        yield from self._finish()
+
+    def _finish(self) -> Generator:
+        yield from self.processor.flush()
+        self.processor.mark_finished()
+
+    # ------------------------------------------------------------------
+    # Op dispatch
+    # ------------------------------------------------------------------
+    def dispatch(self, operation) -> Generator:
+        kind = type(operation)
+        if kind is op.Compute:
+            self.processor.do_compute(operation.cycles)
+        elif kind is op.Load:
+            yield from self._on_load(operation)
+        elif kind is op.Store:
+            yield from self._on_store(operation)
+        elif kind is op.Barrier:
+            yield from self._on_barrier(operation)
+        elif kind is op.LockAcquire:
+            yield from self._on_lock_acquire(operation)
+        elif kind is op.LockRelease:
+            yield from self._on_lock_release(operation)
+        elif kind is op.EventWait:
+            yield from self._on_event_wait(operation)
+        elif kind is op.EventSet:
+            yield from self._on_event_set(operation)
+        elif kind is op.EventClear:
+            yield from self._on_event_clear(operation)
+        elif kind is op.Input:
+            yield from self._on_input(operation)
+        elif kind is op.Output:
+            yield from self._on_output(operation)
+        else:
+            raise TypeError(f"unknown operation {operation!r}")
+
+    # ------------------------------------------------------------------
+    # Default (conventional) semantics; slipstream executors override.
+    # ------------------------------------------------------------------
+    def _on_load(self, operation) -> Generator:
+        yield from self.processor.do_load(self.ctx.role, operation.addr)
+
+    def _on_store(self, operation) -> Generator:
+        yield from self.processor.do_store(
+            self.ctx.role, operation.addr,
+            in_critical_section=self.cs_depth > 0)
+
+    def _on_barrier(self, operation) -> Generator:
+        barrier = self.registry.barrier(operation.bid)
+        yield from self.processor.timed_wait(barrier.arrive(), "barrier")
+        self.session += 1
+
+    def _on_lock_acquire(self, operation) -> Generator:
+        lock = self.registry.lock(operation.lid)
+        yield from self.processor.timed_wait(lock.acquire(self), "lock")
+        self.cs_depth += 1
+
+    def _on_lock_release(self, operation) -> Generator:
+        if self.cs_depth <= 0:
+            raise RuntimeError(f"{self.name}: release without acquire")
+        self.cs_depth -= 1
+        # Releases are globally visible: flush accumulated local time so
+        # the hand-off happens at the right simulated instant.
+        yield from self.processor.flush()
+        self.registry.lock(operation.lid).release(self)
+        self.processor.do_compute(1)
+
+    def _on_event_wait(self, operation) -> Generator:
+        event = self.registry.event(operation.eid)
+        yield from self.processor.timed_wait(event.wait(), "barrier")
+        self.session += 1
+
+    def _on_event_set(self, operation) -> Generator:
+        yield from self.processor.flush()
+        self.registry.event(operation.eid).set()
+        self.processor.do_compute(1)
+
+    def _on_event_clear(self, operation) -> Generator:
+        yield from self.processor.flush()
+        self.registry.event(operation.eid).clear()
+        self.processor.do_compute(1)
+
+    def _on_input(self, operation) -> Generator:
+        self.processor.do_compute(operation.cycles)
+        # Flush so a forwarded result (slipstream) is timestamped after
+        # the operation's cost.
+        yield from self.processor.flush()
+        self.ctx.inputs[operation.key] = True
+
+    def _on_output(self, operation) -> Generator:
+        self.processor.do_compute(operation.cycles)
+        return
+        yield  # pragma: no cover

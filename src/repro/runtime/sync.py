@@ -1,0 +1,196 @@
+"""Synchronization objects (the slipstream-aware parallel library).
+
+These model the system-provided barrier/lock/event routines the paper
+modifies (the ANL macros of SPLASH-2).  Rather than simulating the
+shared-memory loads and stores inside the routines, each object charges a
+latency consistent with its implementation (see DESIGN.md):
+
+* barrier arrival costs ``barrier_entry_cycles`` of communication; release
+  fans out ``barrier_release_cycles`` after the last arrival;
+* an uncontended lock acquire is a round trip to the lock's home
+  (``lock_local_cycles``); a contended hand-off costs a remote-miss-like
+  ``lock_transfer_cycles``;
+* events are sticky flags with broadcast wakeup.
+
+R-streams execute these normally.  A-streams never call them — the
+slipstream executor skips them under A-R token control.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Generator, Optional, Tuple
+
+from repro.config import MachineConfig
+from repro.sim import Engine, Resource, Signal, SimEvent, Timeout
+
+
+class SyncBarrier:
+    """Reusable (generation-counted) global barrier.
+
+    Arrivals *serialize* on the barrier's shared counter (an ANL-style
+    barrier increments a counter line that ping-pongs between arriving
+    processors), so an episode with ``n`` simultaneous arrivals costs the
+    last arriver about ``n * entry_cycles`` — the O(participants) behaviour
+    real software barriers exhibit, and one of the reasons doubling the
+    task count stops paying off (Figure 1).
+    """
+
+    def __init__(self, engine: Engine, n_participants: int,
+                 entry_cycles: int, release_cycles: int):
+        if n_participants < 1:
+            raise ValueError("barrier needs at least one participant")
+        self.engine = engine
+        self.n_participants = n_participants
+        self.entry_cycles = entry_cycles
+        self.release_cycles = release_cycles
+        self._counter = Resource(engine, "barrier-counter")
+        self._count = 0
+        self._generation = 0
+        self._events: Dict[int, SimEvent] = {}
+        # statistics
+        self.episodes = 0
+
+    def arrive(self) -> Generator:
+        """Generator: enter the barrier and block until everyone arrives."""
+        yield self._counter.serve(self.entry_cycles)
+        generation = self._generation
+        self._count += 1
+        if self._count == self.n_participants:
+            self._count = 0
+            self._generation += 1
+            self.episodes += 1
+            event = self._events.pop(generation, None)
+            if event is not None:
+                self.engine.schedule(self.release_cycles, event.trigger)
+            yield Timeout(self.release_cycles)
+        else:
+            event = self._events.get(generation)
+            if event is None:
+                event = SimEvent(self.engine)
+                self._events[generation] = event
+            yield event
+
+
+class SyncLock:
+    """FIFO queueing lock with home-based transfer costs."""
+
+    def __init__(self, engine: Engine, local_cycles: int,
+                 transfer_cycles: int):
+        self.engine = engine
+        self.local_cycles = local_cycles
+        self.transfer_cycles = transfer_cycles
+        self._held_by: Optional[object] = None
+        self._queue: Deque[Tuple[object, SimEvent]] = deque()
+        # statistics
+        self.acquisitions = 0
+        self.contended_acquisitions = 0
+
+    def acquire(self, owner: object) -> Generator:
+        """Generator: acquire the lock on behalf of ``owner``."""
+        self.acquisitions += 1
+        if self._held_by is None and not self._queue:
+            self._held_by = owner
+            yield Timeout(self.local_cycles)
+            return
+        self.contended_acquisitions += 1
+        event = SimEvent(self.engine)
+        self._queue.append((owner, event))
+        yield event
+
+    def release(self, owner: object) -> None:
+        if self._held_by is not owner:
+            raise RuntimeError(
+                f"lock released by {owner!r} but held by {self._held_by!r}")
+        if self._queue:
+            next_owner, event = self._queue.popleft()
+            self._held_by = next_owner
+            # Lock transfer: the released line migrates to the next owner.
+            self.engine.schedule(self.transfer_cycles, event.trigger)
+        else:
+            self._held_by = None
+
+    @property
+    def holder(self) -> Optional[object]:
+        return self._held_by
+
+    @property
+    def waiters(self) -> int:
+        return len(self._queue)
+
+
+class SyncEvent:
+    """Sticky flag event with broadcast wakeup (pairwise producer-consumer
+    synchronization; the paper treats event-wait as a session boundary)."""
+
+    def __init__(self, engine: Engine, notify_cycles: int = 20):
+        self.engine = engine
+        self.notify_cycles = notify_cycles
+        self.flag = False
+        self._signal = Signal(engine)
+        self._generation = 0
+
+    def wait(self) -> Generator:
+        if self.flag:
+            yield Timeout(self.notify_cycles)
+            return
+        yield self._signal
+
+    def set(self) -> None:
+        self.flag = True
+        generation = self._generation
+
+        def fire() -> None:
+            # A clear() between set() and the wakeup cancels the broadcast
+            # (otherwise a waiter that blocked after the clear would be
+            # spuriously released).
+            if self._generation == generation and self.flag:
+                self._signal.fire()
+
+        self.engine.schedule(self.notify_cycles, fire)
+
+    def clear(self) -> None:
+        self.flag = False
+        self._generation += 1
+
+
+class SyncRegistry:
+    """Lazily-created synchronization objects, keyed by program-level ids.
+
+    One registry per run; barrier participant counts equal the number of
+    full (R-stream) tasks in the run.
+    """
+
+    def __init__(self, engine: Engine, config: MachineConfig,
+                 n_participants: int):
+        self.engine = engine
+        self.config = config
+        self.n_participants = n_participants
+        self._barriers: Dict[object, SyncBarrier] = {}
+        self._locks: Dict[object, SyncLock] = {}
+        self._events: Dict[object, SyncEvent] = {}
+
+    def barrier(self, bid) -> SyncBarrier:
+        barrier = self._barriers.get(bid)
+        if barrier is None:
+            barrier = SyncBarrier(
+                self.engine, self.n_participants,
+                self.config.barrier_entry_cycles,
+                self.config.barrier_release_cycles)
+            self._barriers[bid] = barrier
+        return barrier
+
+    def lock(self, lid) -> SyncLock:
+        lock = self._locks.get(lid)
+        if lock is None:
+            lock = SyncLock(self.engine, self.config.lock_local_cycles,
+                            self.config.lock_transfer_cycles)
+            self._locks[lid] = lock
+        return lock
+
+    def event(self, eid) -> SyncEvent:
+        event = self._events.get(eid)
+        if event is None:
+            event = SyncEvent(self.engine)
+            self._events[eid] = event
+        return event

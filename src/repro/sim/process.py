@@ -1,0 +1,119 @@
+"""Generator-based simulation processes.
+
+A *process* is a Python generator that models a concurrent activity (a
+processor, a coherence transaction, a self-invalidation drain).  The
+generator ``yield``\\ s *waitables*; the process sleeps until the waitable
+fires, and the value the waitable produces becomes the result of the
+``yield`` expression.
+
+Supported yields:
+
+* ``int`` or :class:`Timeout` — resume after that many cycles.
+* any object with ``wait(process)`` — the waitable protocol (events,
+  semaphores, resources, other processes).
+* another :class:`Process` — resume when it finishes (join); the joined
+  process's return value is delivered.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.sim.engine import Engine
+
+
+class Timeout:
+    """Waitable that fires after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: int):
+        self.delay = delay
+
+    def wait(self, process: "Process") -> None:
+        process.engine.schedule(self.delay, process.resume)
+
+
+class Process:
+    """Wraps a generator and steps it through the engine.
+
+    The process starts immediately (its first segment runs via a 0-delay
+    event).  When the generator returns, :attr:`done` becomes True and
+    :attr:`result` holds its return value; processes waiting to join are
+    resumed.
+    """
+
+    _next_id = 0
+
+    def __init__(self, engine: Engine, gen: Generator, name: Optional[str] = None):
+        Process._next_id += 1
+        self.pid = Process._next_id
+        self.engine = engine
+        self.name = name or f"process-{self.pid}"
+        self._gen = gen
+        self.done = False
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self._joiners: list = []
+        self._killed = False
+        engine._live_processes[self.pid] = self
+        engine.schedule(0, self.resume)
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else "live"
+        return f"<Process {self.name} ({state})>"
+
+    def __str__(self) -> str:
+        return self.name
+
+    # ------------------------------------------------------------------
+    # Waitable protocol: other processes may join on this one.
+    # ------------------------------------------------------------------
+    def wait(self, process: "Process") -> None:
+        if self.done:
+            process.engine.schedule(0, lambda: process.resume(self.result))
+        else:
+            self._joiners.append(process)
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+    def resume(self, value: Any = None) -> None:
+        """Advance the generator by one segment."""
+        if self.done or self._killed:
+            return
+        try:
+            yielded = self._gen.send(value)
+        except StopIteration as stop:
+            self._finish(getattr(stop, "value", None))
+            return
+        except BaseException as exc:  # surface modeling bugs with context
+            self.error = exc
+            self._finish(None)
+            raise
+        if isinstance(yielded, bool):
+            raise TypeError(f"{self.name} yielded a bool; yield a cycle "
+                            "count or a waitable")
+        if isinstance(yielded, int):
+            yielded = Timeout(yielded)
+        yielded.wait(self)
+
+    def kill(self) -> None:
+        """Terminate the process without resuming it again.
+
+        Used by slipstream recovery (the R-stream kills a deviated
+        A-stream).  Joiners are resumed with ``None``.
+        """
+        if self.done:
+            return
+        self._killed = True
+        self._gen.close()
+        self._finish(None)
+
+    def _finish(self, result: Any) -> None:
+        self.done = True
+        self.result = result
+        self.engine._live_processes.pop(self.pid, None)
+        for joiner in self._joiners:
+            self.engine.schedule(0, lambda j=joiner: j.resume(self.result))
+        self._joiners.clear()

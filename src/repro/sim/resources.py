@@ -1,0 +1,241 @@
+"""Waitable synchronization primitives.
+
+These model the hardware structures that introduce queueing in the machine:
+
+* :class:`Resource` — a serially-occupied server (directory controller,
+  network port).  ``yield resource.serve(n)`` queues the caller, occupies
+  the server for ``n`` cycles, then resumes the caller.
+* :class:`SimEvent` — a one-shot event carrying a value (an outstanding miss
+  completing; MSHR merging is "many processes waiting on one SimEvent").
+* :class:`Signal` — a reusable broadcast (barrier release).
+* :class:`SimSemaphore` — counting semaphore (the A-R token bucket).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Optional, Tuple
+
+from repro.sim.engine import Engine
+
+
+class SimEvent:
+    """One-shot event.  Processes that wait before the trigger are resumed
+    with the trigger value; waits after the trigger resume immediately."""
+
+    __slots__ = ("engine", "_waiters", "triggered", "value")
+
+    def __init__(self, engine: Engine):
+        self.engine = engine
+        self._waiters: List = []
+        self.triggered = False
+        self.value: Any = None
+
+    def wait(self, process) -> None:
+        if self.triggered:
+            self.engine.schedule(0, lambda: process.resume(self.value))
+        else:
+            self._waiters.append(process)
+
+    def trigger(self, value: Any = None) -> None:
+        if self.triggered:
+            raise RuntimeError("SimEvent triggered twice")
+        self.triggered = True
+        self.value = value
+        for process in self._waiters:
+            self.engine.schedule(0, lambda p=process: p.resume(value))
+        self._waiters.clear()
+
+    @property
+    def num_waiters(self) -> int:
+        return len(self._waiters)
+
+
+class Signal:
+    """Reusable broadcast: every ``fire`` wakes everyone currently waiting."""
+
+    __slots__ = ("engine", "_waiters")
+
+    def __init__(self, engine: Engine):
+        self.engine = engine
+        self._waiters: List = []
+
+    def wait(self, process) -> None:
+        self._waiters.append(process)
+
+    def fire(self, value: Any = None) -> None:
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            self.engine.schedule(0, lambda p=process: p.resume(value))
+
+    @property
+    def num_waiters(self) -> int:
+        return len(self._waiters)
+
+
+class SimSemaphore:
+    """Counting semaphore.
+
+    ``yield semaphore.acquire()`` blocks while the count is zero; waiters
+    are served FIFO.  This models the paper's A-R token bucket: a shared
+    location supporting atomic read-modify-write.
+    """
+
+    def __init__(self, engine: Engine, initial: int = 0):
+        if initial < 0:
+            raise ValueError("semaphore count cannot be negative")
+        self.engine = engine
+        self.count = initial
+        self._waiters: Deque = deque()
+
+    class _Acquire:
+        __slots__ = ("sem",)
+
+        def __init__(self, sem: "SimSemaphore"):
+            self.sem = sem
+
+        def wait(self, process) -> None:
+            sem = self.sem
+            if sem.count > 0 and not sem._waiters:
+                sem.count -= 1
+                sem.engine.schedule(0, lambda: sem._grant(process))
+            else:
+                sem._waiters.append(process)
+
+    def acquire(self) -> "SimSemaphore._Acquire":
+        return SimSemaphore._Acquire(self)
+
+    def try_acquire(self) -> bool:
+        """Non-blocking acquire; True on success."""
+        if self.count > 0 and not self._waiters:
+            self.count -= 1
+            return True
+        return False
+
+    def release(self, n: int = 1) -> None:
+        """Add ``n`` tokens, waking queued waiters FIFO.
+
+        Killed processes still sitting in the queue are skipped, not fed —
+        a token handed to a dead waiter would silently vanish.
+        """
+        for _ in range(n):
+            process = None
+            while self._waiters:
+                candidate = self._waiters.popleft()
+                if not getattr(candidate, "done", False):
+                    process = candidate
+                    break
+            if process is not None:
+                self.engine.schedule(0,
+                                     lambda p=process: self._grant(p))
+            else:
+                self.count += 1
+
+    def _grant(self, process) -> None:
+        """Deliver a granted token; if the grantee died between grant and
+        resume (a kill in the same cycle), put the token back so it cannot
+        silently vanish — per-line directory guards depend on this."""
+        if getattr(process, "done", False):
+            self.release()
+        else:
+            process.resume()
+
+    def drain(self) -> None:
+        """Reset the count to zero and drop dead queued waiters (used when
+        reforking an A-stream)."""
+        self.count = 0
+        self._waiters = deque(p for p in self._waiters
+                              if not getattr(p, "done", False))
+
+    @property
+    def num_waiters(self) -> int:
+        return len(self._waiters)
+
+
+class Resource:
+    """A serially-occupied server with a FIFO queue.
+
+    Models occupancy-style contention (Table 1's directory-controller
+    occupancies, network input/output ports).  Each job occupies the server
+    for its own service time; the requesting process is blocked from enqueue
+    until its service completes.  Utilization statistics are kept for
+    traffic/occupancy reporting; note ``busy_cycles`` is charged at service
+    *start*, so a run truncated mid-service reports the full service time
+    (irrelevant for runs driven to completion, which is all of ours).
+    """
+
+    def __init__(self, engine: Engine, name: str = "resource"):
+        self.engine = engine
+        self.name = name
+        #: queued jobs: (service_time, process|None, enqueue_time, cut_through)
+        self._queue: Deque[Tuple[int, Optional[Any], int, bool]] = deque()
+        self._busy = False
+        self.total_jobs = 0
+        self.busy_cycles = 0
+        self.total_queue_cycles = 0
+
+    class _Serve:
+        __slots__ = ("resource", "service_time", "cut_through")
+
+        def __init__(self, resource: "Resource", service_time: int,
+                     cut_through: bool = False):
+            self.resource = resource
+            self.service_time = service_time
+            self.cut_through = cut_through
+
+        def wait(self, process) -> None:
+            self.resource._enqueue(self.service_time, process,
+                                   self.cut_through)
+
+    def serve(self, service_time: int) -> "Resource._Serve":
+        """Waitable: queue for the server, hold it ``service_time`` cycles."""
+        return Resource._Serve(self, service_time)
+
+    def pass_through(self, service_time: int) -> "Resource._Serve":
+        """Waitable with cut-through semantics: queue until the server is
+        free, occupy it for ``service_time`` cycles, but resume the caller
+        as soon as service *starts* (the occupancy overlaps the caller's
+        onward journey).  Models wormhole-routed network ports: queueing
+        delays a message, its own serialization does not."""
+        return Resource._Serve(self, service_time, cut_through=True)
+
+    def post(self, service_time: int) -> None:
+        """Occupy the server without blocking any process (fire-and-forget
+        jobs such as asynchronous writebacks still consume occupancy)."""
+        self._enqueue(service_time, None, False)
+
+    def _enqueue(self, service_time: int, process,
+                 cut_through: bool) -> None:
+        self._queue.append((service_time, process, self.engine.now,
+                            cut_through))
+        if not self._busy:
+            self._start_next()
+
+    def _start_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        service_time, process, enqueued_at, cut_through = self._queue.popleft()
+        self.total_jobs += 1
+        self.busy_cycles += service_time
+        self.total_queue_cycles += self.engine.now - enqueued_at
+        if cut_through and process is not None:
+            self.engine.schedule(0, process.resume)
+            process = None
+        self.engine.schedule(service_time, lambda: self._complete(process))
+
+    def _complete(self, process) -> None:
+        if process is not None:
+            process.resume()
+        self._start_next()
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def utilization(self) -> float:
+        """Fraction of elapsed time the server has been busy."""
+        if self.engine.now == 0:
+            return 0.0
+        return self.busy_cycles / self.engine.now

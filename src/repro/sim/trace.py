@@ -1,0 +1,116 @@
+"""Optional event tracing.
+
+A :class:`Tracer` records timestamped, categorized events from anywhere in
+the simulator (protocol transactions, slipstream decisions, SI drains) into
+a bounded in-memory log.  Tracing is off by default and costs one ``if``
+per call site when disabled; tests and the examples use it to assert and
+display event orderings that aggregate counters cannot express.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Iterable, List, Optional, Tuple
+
+from repro.sim.engine import Engine
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event."""
+
+    time: int
+    category: str
+    subject: str
+    detail: str = ""
+
+    def __str__(self) -> str:
+        suffix = f" {self.detail}" if self.detail else ""
+        return f"[{self.time:>10}] {self.category:<12} {self.subject}{suffix}"
+
+
+class Tracer:
+    """Bounded in-memory event log.
+
+    ``categories`` restricts recording to the given categories (None =
+    everything).  The log keeps the most recent ``capacity`` events.
+    """
+
+    def __init__(self, engine: Engine, capacity: int = 100_000,
+                 categories: Optional[Iterable[str]] = None):
+        self.engine = engine
+        self.capacity = capacity
+        self.categories = (None if categories is None
+                           else frozenset(categories))
+        self.enabled = True
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self.dropped = 0
+        self.counts: Counter = Counter()
+
+    def record(self, category: str, subject: str, detail: str = "") -> None:
+        if not self.enabled:
+            return
+        if self.categories is not None and category not in self.categories:
+            return
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(TraceEvent(self.engine.now, category,
+                                       str(subject), detail))
+        self.counts[category] += 1
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def events(self, category: Optional[str] = None,
+               subject: Optional[str] = None,
+               since: int = 0) -> List[TraceEvent]:
+        return [event for event in self._events
+                if (category is None or event.category == category)
+                and (subject is None or event.subject == subject)
+                and event.time >= since]
+
+    def last(self, category: Optional[str] = None) -> Optional[TraceEvent]:
+        matching = self.events(category)
+        return matching[-1] if matching else None
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.counts.clear()
+        self.dropped = 0
+
+    def dump(self, limit: int = 50) -> str:
+        """The most recent events as readable text."""
+        tail = list(self._events)[-limit:]
+        return "\n".join(str(event) for event in tail)
+
+
+class NullTracer:
+    """Do-nothing tracer (the default wiring), API-compatible."""
+
+    enabled = False
+
+    def record(self, category: str, subject: str, detail: str = "") -> None:
+        pass
+
+    def events(self, *args, **kwargs) -> List[TraceEvent]:
+        return []
+
+    def last(self, *args, **kwargs) -> Optional[TraceEvent]:
+        return None
+
+    def __len__(self) -> int:
+        return 0
+
+    def clear(self) -> None:
+        pass
+
+    def dump(self, limit: int = 50) -> str:
+        return ""
+
+
+#: shared do-nothing instance
+NULL_TRACER = NullTracer()

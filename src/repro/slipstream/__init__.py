@@ -1,0 +1,28 @@
+"""Slipstream execution mode (the paper's contribution).
+
+On each CMP node, the logical task runs twice: the full **R-stream** on one
+processor and the reduced **A-stream** on the other.  The A-stream skips
+synchronization and shared-memory stores, so it runs ahead and prefetches
+shared data into the node's shared L2; with Section 4 support it issues
+transparent loads and feeds self-invalidation.
+
+* :mod:`repro.slipstream.arsync` — the four A-R synchronization policies
+  (one/zero-token × local/global) built on a token bucket.
+* :mod:`repro.slipstream.pair` — per-node pair state: token bucket,
+  session counters, input forwarding, deviation recovery.
+* :mod:`repro.slipstream.rstream` — the R-stream executor (inserts tokens,
+  checks for deviation, kicks the self-invalidation drain).
+* :mod:`repro.slipstream.astream` — the A-stream executor (the reduction
+  rules of Section 3.1 and the transparent-load policy of Section 4.1).
+"""
+
+from repro.slipstream.adaptive import LADDER, AdaptiveController
+from repro.slipstream.arsync import (G0, G1, L0, L1, POLICIES, ARSyncPolicy)
+from repro.slipstream.astream import AStreamExecutor
+from repro.slipstream.pair import SlipstreamPair
+from repro.slipstream.rstream import RStreamExecutor
+
+__all__ = [
+    "ARSyncPolicy", "AStreamExecutor", "AdaptiveController", "G0", "G1",
+    "L0", "L1", "LADDER", "POLICIES", "RStreamExecutor", "SlipstreamPair",
+]

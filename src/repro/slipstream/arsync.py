@@ -1,0 +1,68 @@
+"""A-R synchronization policies (Section 3.2, Figure 3).
+
+A single semaphore per A/R pair controls how far the A-stream may run
+ahead.  The semaphore starts with ``initial_tokens``; the A-stream consumes
+one token to enter each new *session* (the code between two barrier or
+event-wait synchronizations), and the R-stream inserts a token either when
+it **enters** the synchronization routine (*local* — progress depends only
+on the companion R-stream) or when it **exits** it (*global* — progress
+depends on all R-streams, since the barrier only releases when everyone
+arrived).
+
+The paper evaluates four combinations:
+
+====  ==========================  =======================================
+name  policy                      A-stream may enter the next session when
+====  ==========================  =======================================
+L1    one-token local             its R-stream enters the *previous* sync
+L0    zero-token local            its R-stream enters the *same* sync
+G1    one-token global            its R-stream exits the *previous* sync
+G0    zero-token global           its R-stream exits the *same* sync
+====  ==========================  =======================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+LOCAL = "local"
+GLOBAL = "global"
+
+
+@dataclass(frozen=True)
+class ARSyncPolicy:
+    """One A-R synchronization configuration."""
+
+    name: str
+    scope: str           # 'local' or 'global'
+    initial_tokens: int
+
+    def __post_init__(self) -> None:
+        if self.scope not in (LOCAL, GLOBAL):
+            raise ValueError(f"scope must be local or global, got {self.scope!r}")
+        if self.initial_tokens < 0:
+            raise ValueError("initial_tokens cannot be negative")
+
+    @property
+    def inserts_on_entry(self) -> bool:
+        return self.scope == LOCAL
+
+    def __str__(self) -> str:
+        return self.name
+
+
+L1 = ARSyncPolicy("L1", LOCAL, 1)    # one-token local (loosest)
+L0 = ARSyncPolicy("L0", LOCAL, 0)    # zero-token local
+G1 = ARSyncPolicy("G1", GLOBAL, 1)   # one-token global
+G0 = ARSyncPolicy("G0", GLOBAL, 0)   # zero-token global (tightest)
+
+#: the four policies of Figure 5, in the paper's order
+POLICIES = (L1, L0, G1, G0)
+
+
+def policy_by_name(name: str) -> ARSyncPolicy:
+    for policy in POLICIES:
+        if policy.name == name.upper():
+            return policy
+    raise KeyError(f"unknown A-R sync policy {name!r}; choose from "
+                   f"{[p.name for p in POLICIES]}")

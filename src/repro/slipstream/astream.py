@@ -1,0 +1,161 @@
+"""A-stream executor: the reduced task (Sections 3.1 and 4.1).
+
+Reduction rules applied to the op stream:
+
+* **Synchronization is skipped.**  Barriers and event-waits become A-R
+  token consumptions (the A-stream never enters the global routine); lock
+  acquire/release only track critical-section depth; event set/clear are
+  dropped.
+* **Shared-memory stores are not committed.**  The store still occupies
+  its pipeline slot (1 busy cycle).  If the A-stream is in the same session
+  as its R-stream and outside critical sections, the store is converted to
+  a non-binding exclusive prefetch (Section 3.3); otherwise it is skipped
+  outright.
+* **Loads execute** (the A-stream needs the values to make forward
+  progress).  With self-invalidation support enabled, a load issued one or
+  more sessions ahead of the R-stream, or inside a critical section, is a
+  *transparent load* (Section 4.1); otherwise it is a normal load.
+* **Global operations**: ``Input`` waits for the R-stream's forwarded
+  result; ``Output`` is skipped.
+
+The executor aborts cooperatively (at op boundaries) when the pair requests
+recovery, so it never dies holding protocol resources.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Iterator, Optional
+
+from repro.machine.processor import Processor
+from repro.runtime import ops as op
+from repro.runtime.executor import TaskExecutor
+from repro.runtime.sync import SyncRegistry
+from repro.runtime.task import TaskContext
+from repro.slipstream.pair import SlipstreamPair
+from repro.sim import Timeout
+
+
+class AStreamExecutor(TaskExecutor):
+    """Reduced-task executor."""
+
+    def __init__(self, processor: Processor, ctx: TaskContext,
+                 program: Iterator, registry: SyncRegistry,
+                 pair: SlipstreamPair, name: Optional[str] = None):
+        super().__init__(processor, ctx, program, registry,
+                         name=name or f"task{ctx.task_id}(A)")
+        self.pair = pair
+        self._input_seq = pair.a_input_seq_base
+        # statistics
+        self.stores_skipped = 0
+        self.stores_converted = 0
+        self.transparent_loads = 0
+
+    # ------------------------------------------------------------------
+    # Main loop: like TaskExecutor's, plus cooperative abort.
+    # ------------------------------------------------------------------
+    def _run(self) -> Generator:
+        do_compute = self.processor.do_compute
+        for operation in self.program:
+            if self.pair.abort_requested:
+                return  # recovery in progress; exit at an op boundary
+            if type(operation) is op.Compute:
+                do_compute(operation.cycles)
+                continue
+            yield from self.dispatch(operation)
+        yield from self._finish()
+
+    # ------------------------------------------------------------------
+    # Loads: normal or transparent
+    # ------------------------------------------------------------------
+    def _use_transparent(self) -> bool:
+        if not self.pair.tl_enabled:
+            return False
+        return self.pair.a_sessions_ahead >= 1 or self.cs_depth > 0
+
+    def _on_load(self, operation) -> Generator:
+        transparent = self._use_transparent()
+        if transparent:
+            self.transparent_loads += 1
+        if self.pair.pattern_log is not None:
+            self.pair.pattern_log.record(
+                self.pair.a_session,
+                self.processor.space.line_of(operation.addr))
+        yield from self.processor.do_load("A", operation.addr,
+                                          transparent=transparent)
+
+    # ------------------------------------------------------------------
+    # Stores: skip, or convert to exclusive prefetch
+    # ------------------------------------------------------------------
+    def _on_store(self, operation) -> Generator:
+        if self.pair.same_session and self.cs_depth == 0:
+            self.stores_converted += 1
+            yield from self.processor.do_exclusive_prefetch(operation.addr)
+        else:
+            self.stores_skipped += 1
+            self.processor.do_compute(1)  # executed but not committed
+
+    # ------------------------------------------------------------------
+    # Synchronization: token consumption instead of the real routine
+    # ------------------------------------------------------------------
+    def _consume_token(self) -> Generator:
+        yield from self.processor.timed_wait(
+            self.pair.a_consume_token(), "arsync")
+        self.session = self.pair.a_session
+
+    def _on_barrier(self, operation) -> Generator:
+        yield from self._consume_token()
+
+    def _on_event_wait(self, operation) -> Generator:
+        yield from self._consume_token()
+
+    def _on_lock_acquire(self, operation) -> Generator:
+        self.cs_depth += 1
+        self.processor.do_compute(1)
+        return
+        yield  # pragma: no cover
+
+    def _on_lock_release(self, operation) -> Generator:
+        if self.cs_depth > 0:
+            self.cs_depth -= 1
+        self.processor.do_compute(1)
+        return
+        yield  # pragma: no cover
+
+    def _on_event_set(self, operation) -> Generator:
+        self.processor.do_compute(1)
+        return
+        yield  # pragma: no cover
+
+    def _on_event_clear(self, operation) -> Generator:
+        self.processor.do_compute(1)
+        return
+        yield  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Global operations
+    # ------------------------------------------------------------------
+    def _on_input(self, operation) -> Generator:
+        """Wait (under A-R sync accounting) for the R-stream's result."""
+        seq = self._next_input_seq()
+        event = self.pair.input_event(seq)
+        yield from self.processor.flush()
+        start = self.processor.engine.now
+        # Poll rather than block: a deviated A-stream must stay killable
+        # even while waiting for a forwarded input.
+        while not event.triggered and not self.pair.abort_requested:
+            yield Timeout(self.pair.config.input_forward_cycles)
+        self.processor.breakdown.add(
+            "arsync", self.processor.engine.now - start)
+        if event.triggered:
+            self.ctx.inputs[operation.key] = event.value
+            self.processor.do_compute(1)
+
+    def _next_input_seq(self) -> int:
+        seq = self._input_seq
+        self._input_seq = seq + 1
+        return seq
+
+    def _on_output(self, operation) -> Generator:
+        self.processor.do_compute(1)
+        return
+        yield  # pragma: no cover

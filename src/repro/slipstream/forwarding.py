@@ -1,0 +1,120 @@
+"""Explicit A-stream -> R-stream access-pattern forwarding.
+
+The paper's principal future-work item (Section 6): "we will complete the
+design of an efficient mechanism to explicitly convey access pattern
+information from the A-stream to the R-stream".  This module implements
+the natural version of that mechanism on top of the existing pair state:
+
+* the A-stream records the shared lines it references, tagged with its
+  current session (a bounded per-session log — the hardware analogue is a
+  small FIFO written by one processor of the CMP and read by the other);
+* when the R-stream *enters* a session, a rate-limited prefetcher walks
+  the A-stream's recorded pattern for that same session and re-fetches any
+  line the node's L2 no longer holds a usable copy of.
+
+This directly targets the two ways a timely A-stream fetch still fails to
+help (our Figure 7 data shows they dominate): the copy was invalidated or
+evicted before the R-stream arrived (re-fetch it early), or it was a
+*transparent* copy the R-stream is not allowed to read (fetch a normal
+copy early).  Enabled with ``run_mode(..., forwarding=True)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.sim import Process, Timeout
+
+
+class PatternLog:
+    """Bounded per-session record of the A-stream's shared-line accesses."""
+
+    def __init__(self, max_lines_per_session: int = 4096):
+        self.max_lines_per_session = max_lines_per_session
+        self._sessions: Dict[int, List[int]] = {}
+        self._last: Dict[int, int] = {}
+        self.recorded = 0
+        self.dropped = 0
+
+    def record(self, session: int, line_addr: int) -> None:
+        """Append a line to a session's pattern (consecutive duplicates
+        are collapsed — stencil sweeps revisit lines back-to-back)."""
+        if self._last.get(session) == line_addr:
+            return
+        log = self._sessions.setdefault(session, [])
+        if len(log) >= self.max_lines_per_session:
+            self.dropped += 1
+            return
+        log.append(line_addr)
+        self._last[session] = line_addr
+        self.recorded += 1
+
+    def pattern(self, session: int) -> List[int]:
+        return self._sessions.get(session, [])
+
+    def discard_before(self, session: int) -> None:
+        """Free logs for sessions the R-stream has already passed."""
+        for old in [s for s in self._sessions if s < session]:
+            del self._sessions[old]
+            self._last.pop(old, None)
+
+
+class PatternPrefetcher:
+    """R-stream-side prefetch engine replaying the A-stream's pattern.
+
+    With ``speculative`` set, the replay of the *next* session's pattern
+    additionally starts when the R-stream **enters** a barrier, overlapping
+    the prefetches with the barrier wait — the safe (prefetch-only) form of
+    speculative memory access following synchronization that the paper's
+    introduction points to [22].
+    """
+
+    def __init__(self, pair, ctrl, interval: Optional[int] = None,
+                 speculative: bool = False):
+        self.pair = pair
+        self.ctrl = ctrl
+        self.interval = (interval if interval is not None
+                         else ctrl.config.si_drain_interval * 2)
+        self.speculative = speculative
+        self.issued = 0
+        self.speculative_replays = 0
+        self.skipped_resident = 0
+        self._process: Optional[Process] = None
+
+    def on_r_barrier_enter(self) -> None:
+        """R-stream entered a session-ending synchronization: if enabled,
+        speculatively start replaying the *next* session's pattern so the
+        prefetches overlap the barrier wait."""
+        if not self.speculative:
+            return
+        self.speculative_replays += 1
+        self._replay(self.pair.r_session + 1, discard=False)
+
+    def on_r_session_enter(self, session: int) -> None:
+        """R-stream entered ``session``: replay the A-stream's pattern."""
+        self._replay(session, discard=True)
+
+    def _replay(self, session: int, discard: bool) -> None:
+        log = self.pair.pattern_log
+        pattern = log.pattern(session)
+        if discard:
+            log.discard_before(session)
+        if not pattern:
+            return
+        if self._process is not None and not self._process.done:
+            self._process.kill()  # stale replay from the previous session
+
+        def replay():
+            for line_addr in pattern:
+                if self.pair.shutdown or self.pair.r_session > session:
+                    return
+                line = self.ctrl.l2.probe(line_addr)
+                if line is not None and not line.transparent:
+                    self.skipped_resident += 1
+                    continue
+                self.issued += 1
+                self.ctrl.read_prefetch(line_addr)
+                yield Timeout(self.interval)
+
+        self._process = Process(self.ctrl.engine, replay(),
+                                name=f"fwd-pf[{self.pair.task_id}]")

@@ -1,0 +1,214 @@
+"""Per-node A/R pair state: tokens, sessions, input forwarding, recovery.
+
+One :class:`SlipstreamPair` exists per CMP node in slipstream mode.  It
+owns the token-bucket semaphore between the two streams, the session
+counters used for same-session decisions (exclusive-prefetch conversion,
+transparent-load policy) and deviation detection, the input-forwarding
+channel, and the recovery machinery that reforks a deviated A-stream.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, Iterator, Optional
+
+from repro.config import MachineConfig
+from repro.runtime import ops as op
+from repro.slipstream.arsync import ARSyncPolicy
+from repro.sim import Engine, Process, SimEvent, SimSemaphore, Timeout
+
+
+def fast_forward(program: Iterator, sessions: int,
+                 counters: Optional[dict] = None) -> Iterator:
+    """Consume ops (in zero simulated time) until ``sessions`` session
+    boundaries have passed; return the program positioned just after.
+
+    Used to refork an A-stream at the R-stream's current session (the
+    paper's task-recreation model, with its cost charged separately via
+    ``recovery_fork_cycles``).  If ``counters`` is given, the number of
+    skipped ``Input`` ops is recorded under ``"inputs"`` so the reforked
+    A-stream's input-forwarding sequence stays aligned with its R-stream.
+    """
+    skipped = 0
+    inputs = 0
+    while skipped < sessions:
+        try:
+            operation = next(program)
+        except StopIteration:
+            break
+        if isinstance(operation, (op.Barrier, op.EventWait)):
+            skipped += 1
+        elif isinstance(operation, op.Input):
+            inputs += 1
+    if counters is not None:
+        counters["inputs"] = inputs
+    return program
+
+
+class SlipstreamPair:
+    """Shared state between an R-stream and its companion A-stream."""
+
+    def __init__(self, engine: Engine, config: MachineConfig, task_id: int,
+                 policy: ARSyncPolicy, tl_enabled: bool = False,
+                 si_enabled: bool = False,
+                 make_program: Callable[[], Iterator] = None,
+                 spawn_astream: Optional[Callable[["SlipstreamPair", Iterator], object]] = None):
+        self.engine = engine
+        self.config = config
+        self.task_id = task_id
+        self.policy = policy
+        #: Section 4.1: the A-stream issues transparent loads
+        self.tl_enabled = tl_enabled
+        #: Section 4.2: self-invalidation hints + sync-point drain
+        self.si_enabled = si_enabled
+        #: factory producing a fresh A-stream program (used by recovery)
+        self.make_program = make_program
+        #: callback that creates and starts a new A-stream executor; wired
+        #: by the mode runner after pair construction
+        self.spawn_astream = spawn_astream
+        self.tokens = SimSemaphore(engine, policy.initial_tokens)
+        # session bookkeeping
+        self.r_session = 0       # sessions completed by the R-stream
+        self.a_session = 0       # sessions the A-stream has *entered past*
+        self.a_reached = 0       # sync points the A-stream has reached
+        # input forwarding (R -> A)
+        self._input_events: Dict[int, SimEvent] = {}
+        self.r_input_seq = 0
+        # recovery
+        self.abort_requested = False
+        self.shutdown = False    # set by the run supervisor at end of run
+        self.recoveries = 0
+        self.a_executor = None   # current AStreamExecutor (set by runner)
+        #: every A-stream executor ever spawned for this pair (reforks
+        #: included), so end-of-run statistics cover pre-recovery work
+        self.a_executor_history = []
+        #: input-forwarding sequence a freshly spawned A-stream starts at
+        self.a_input_seq_base = 0
+        self._recovering = False
+        #: optional event tracer (wired by the mode runner)
+        self.tracer = None
+        #: optional AdaptiveController (wired by the mode runner)
+        self.adaptive = None
+        #: optional PatternLog + PatternPrefetcher (forwarding extension)
+        self.pattern_log = None
+        self.prefetcher = None
+        #: tokens owed back to the bucket (an adaptive tighten that could
+        #: not retire a token immediately absorbs the next insertion)
+        self.token_debt = 0
+        # statistics
+        self.tokens_inserted = 0
+        self.a_token_waits = 0
+
+    # ------------------------------------------------------------------
+    # Session queries (used by the A-stream's reduction decisions)
+    # ------------------------------------------------------------------
+    @property
+    def same_session(self) -> bool:
+        """Is the A-stream in the same session as its R-stream?"""
+        return self.a_session == self.r_session
+
+    @property
+    def a_sessions_ahead(self) -> int:
+        return self.a_session - self.r_session
+
+    # ------------------------------------------------------------------
+    # Token protocol (Figure 3)
+    # ------------------------------------------------------------------
+    def insert_token(self) -> None:
+        if self.token_debt > 0:
+            self.token_debt -= 1
+            return
+        self.tokens_inserted += 1
+        self.tokens.release()
+
+    def on_r_sync_enter(self) -> None:
+        """R-stream is entering a barrier/event-wait routine."""
+        if self.policy.inserts_on_entry:
+            self.insert_token()
+
+    def on_r_sync_exit(self) -> None:
+        """R-stream finished the barrier/event-wait routine."""
+        self.r_session += 1
+        if not self.policy.inserts_on_entry:
+            self.insert_token()
+        if self.adaptive is not None:
+            self.adaptive.on_session_end()
+        if self.prefetcher is not None:
+            self.prefetcher.on_r_session_enter(self.r_session)
+
+    def a_consume_token(self) -> Generator:
+        """A-stream reached a sync point: consume a token (may block).
+
+        Generator; the caller charges the elapsed time to the A-R sync
+        category.
+        """
+        self.a_reached += 1
+        if not self.tokens.try_acquire():
+            self.a_token_waits += 1
+            yield self.tokens.acquire()
+        self.a_session += 1
+
+    # ------------------------------------------------------------------
+    # Input forwarding (Section 3.2, global operations)
+    # ------------------------------------------------------------------
+    def input_event(self, seq: int) -> SimEvent:
+        event = self._input_events.get(seq)
+        if event is None:
+            event = SimEvent(self.engine)
+            self._input_events[seq] = event
+        return event
+
+    def r_complete_input(self, value=None) -> None:
+        """R-stream performed Input #seq; forward the value to the A-stream."""
+        event = self.input_event(self.r_input_seq)
+        self.r_input_seq += 1
+        if not event.triggered:
+            event.trigger(value)
+
+    # ------------------------------------------------------------------
+    # Deviation detection and recovery (Section 3.2)
+    # ------------------------------------------------------------------
+    def deviated(self) -> bool:
+        """Software deviation check, evaluated when the R-stream reaches
+        the end of a session: the A-stream is deviated if it lags by at
+        least ``deviation_lag_sessions`` sessions (see MachineConfig for
+        why the default grace is one session, not the paper's zero)."""
+        lag = self.r_session - self.a_reached
+        return lag >= self.config.deviation_lag_sessions
+
+    def request_recovery(self) -> None:
+        """Kill the A-stream (cooperatively) and refork it at the
+        R-stream's current position.  Runs asynchronously; the R-stream
+        does not block."""
+        if self._recovering or self.spawn_astream is None:
+            return
+        self._recovering = True
+        self.recoveries += 1
+        self.abort_requested = True
+        if self.tracer is not None:
+            self.tracer.record("recovery", f"pair{self.task_id}",
+                               f"r_session={self.r_session} "
+                               f"a_reached={self.a_reached}")
+        old = self.a_executor
+
+        def supervise() -> Generator:
+            if old is not None and old.process is not None \
+                    and not old.process.done:
+                yield old.process  # join: the A-stream exits at an op boundary
+            # Task re-creation cost.
+            yield Timeout(self.config.recovery_fork_cycles)
+            if self.shutdown:
+                self._recovering = False
+                return
+            target = self.r_session
+            counters = {}
+            program = fast_forward(self.make_program(), target, counters)
+            self.a_input_seq_base = counters.get("inputs", 0)
+            self.tokens.drain()
+            self.tokens.release(self.policy.initial_tokens)
+            self.a_session = target
+            self.a_reached = target
+            self.abort_requested = False
+            self._recovering = False
+            self.a_executor = self.spawn_astream(self, program)
+
+        Process(self.engine, supervise(), name=f"recover[{self.task_id}]")

@@ -1,0 +1,13 @@
+"""Measurement: time breakdowns, request classification, run summaries.
+
+* :mod:`repro.stats.timebreakdown` — per-processor cycle accounting in the
+  paper's Figure 6 categories (busy, memory stall, barrier, lock, A-R sync).
+* :mod:`repro.stats.classify` — the Figure 7 taxonomy of shared-data memory
+  requests (A/R × Timely/Late/Only) and the Figure 9 transparent-load
+  breakdown.
+"""
+
+from repro.stats.classify import RequestClassifier
+from repro.stats.timebreakdown import TimeBreakdown
+
+__all__ = ["RequestClassifier", "TimeBreakdown"]

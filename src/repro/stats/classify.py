@@ -1,0 +1,123 @@
+"""Classification of shared-data memory requests (Figure 7 of the paper).
+
+Every L2-missing request for shared data in slipstream mode falls into one
+of six categories, split by request type (read vs exclusive):
+
+A-stream requests
+    * **A-Timely** — the fetched line is later referenced by the R-stream
+      while still valid (a successful prefetch).
+    * **A-Late** — the R-stream referenced the line while the A-stream's
+      request was still in flight (the R request merged in the MSHR).
+    * **A-Only** — the fetched line was evicted or invalidated without ever
+      being referenced by the R-stream (harmful: pure extra traffic).
+
+R-stream requests (requests that actually reached memory)
+    * **R-Timely** — the line was also referenced by the A-stream *earlier*,
+      but the A-fetched copy was lost before this R use (correlated access,
+      unlucky timing).
+    * **R-Late** — the A-stream references the line only *after* this R
+      miss (the A-stream was behind on this line).
+    * **R-Only** — the A-stream never references the line at all.
+
+The per-line exactly-once resolution of A requests lives in the L2
+controller (line flags); this module owns the counters and the
+earlier/later correlation machinery for the R side, which is resolved
+online: an R miss on a line the A-stream has already touched is R-Timely,
+otherwise it is held pending and becomes R-Late when (if) the A-stream
+touches the line, or R-Only at :meth:`RequestClassifier.finalize`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+KINDS = ("read", "excl")
+A_CATEGORIES = ("a_timely", "a_late", "a_only")
+R_CATEGORIES = ("r_timely", "r_late", "r_only")
+CATEGORIES = A_CATEGORIES + R_CATEGORIES
+
+
+class RequestClassifier:
+    """Accumulates the Figure 7 request taxonomy for one run."""
+
+    def __init__(self) -> None:
+        self.counts: Dict[str, Dict[str, int]] = {
+            category: {kind: 0 for kind in KINDS} for category in CATEGORIES}
+        self.a_issued: Dict[str, int] = {kind: 0 for kind in KINDS}
+        # (node, line) the A-stream has touched at least once
+        self._a_seen: Set[Tuple[int, int]] = set()
+        # R misses waiting to learn whether the A-stream ever touches the line
+        self._pending_r: Dict[Tuple[int, int], Dict[str, int]] = {}
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # Event feed (called by the L2 controllers)
+    # ------------------------------------------------------------------
+    def on_a_touch(self, node: int, line: int) -> None:
+        """The A-stream referenced ``line`` at ``node`` (hit or miss)."""
+        key = (node, line)
+        if key in self._a_seen:
+            return
+        self._a_seen.add(key)
+        pending = self._pending_r.pop(key, None)
+        if pending:
+            for kind, count in pending.items():
+                self.counts["r_late"][kind] += count
+
+    def on_r_miss(self, node: int, line: int, kind: str) -> None:
+        """An R-stream request for ``line`` reached memory."""
+        key = (node, line)
+        if key in self._a_seen:
+            self.counts["r_timely"][kind] += 1
+        else:
+            bucket = self._pending_r.setdefault(
+                key, {k: 0 for k in KINDS})
+            bucket[kind] += 1
+
+    def on_a_fetch_issued(self, kind: str) -> None:
+        self.a_issued[kind] += 1
+
+    def on_a_fetch_timely(self, kind: str) -> None:
+        self.counts["a_timely"][kind] += 1
+
+    def on_a_fetch_late(self, kind: str) -> None:
+        self.counts["a_late"][kind] += 1
+
+    def on_a_fetch_only(self, kind: str) -> None:
+        self.counts["a_only"][kind] += 1
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def finalize(self) -> None:
+        """Resolve R misses on lines the A-stream never touched as R-Only."""
+        if self._finalized:
+            return
+        self._finalized = True
+        for bucket in self._pending_r.values():
+            for kind, count in bucket.items():
+                self.counts["r_only"][kind] += count
+        self._pending_r.clear()
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def total_requests(self, kind: str) -> int:
+        return sum(self.counts[category][kind] for category in CATEGORIES)
+
+    def breakdown(self, kind: str) -> Dict[str, float]:
+        """Category shares for ``kind`` ('read' or 'excl'), summing to 1.
+
+        Matches one stacked bar of Figure 7.
+        """
+        total = self.total_requests(kind)
+        if total == 0:
+            return {category: 0.0 for category in CATEGORIES}
+        return {category: self.counts[category][kind] / total
+                for category in CATEGORIES}
+
+    def a_request_count(self, kind: str) -> int:
+        return self.a_issued[kind]
+
+    def summary(self) -> Dict[str, Dict[str, int]]:
+        return {category: dict(kinds) for category, kinds in self.counts.items()}

@@ -1,0 +1,105 @@
+"""Plain-text reporting: bar charts and stacked bars for figure output.
+
+The paper's figures are bar and line charts; this module renders their
+text equivalents so ``python -m repro.experiments`` output can be read the
+way the figures are (who wins, by how much, what the stacked breakdowns
+look like) without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+#: one glyph per breakdown category, in display order
+STACK_GLYPHS = {
+    "busy": "#",
+    "stall": "=",
+    "barrier": "B",
+    "lock": "L",
+    "arsync": "~",
+}
+
+
+def hbar(value: float, scale: float, width: int = 40,
+         fill: str = "#") -> str:
+    """A horizontal bar of ``value`` on a 0..scale axis."""
+    if scale <= 0:
+        return ""
+    filled = int(round(width * min(value, scale) / scale))
+    return fill * filled
+
+
+def bar_chart(series: Mapping[str, float], title: str = "",
+              width: int = 40, reference: Optional[float] = None,
+              fmt: str = "%.2f") -> str:
+    """Labeled horizontal bar chart, one row per entry.
+
+    ``reference`` (e.g. 1.0 for speedups) draws a ``|`` marker at that
+    value on every row.
+    """
+    if not series:
+        return title
+    scale = max(max(series.values()),
+                reference if reference is not None else 0.0)
+    label_width = max(len(str(k)) for k in series)
+    lines = [title] if title else []
+    for label, value in series.items():
+        bar = hbar(value, scale, width)
+        if reference is not None and scale > 0:
+            mark = min(int(round(width * reference / scale)), width - 1)
+            bar = bar.ljust(width)
+            if mark >= 0:
+                tick = "|" if mark >= len(bar.rstrip()) else "+"
+                bar = bar[:mark] + tick + bar[mark + 1:]
+        lines.append(f"{str(label).rjust(label_width)} {bar} "
+                     + (fmt % value))
+    return "\n".join(lines)
+
+
+def stacked_bar(breakdown: Mapping[str, float], total: float,
+                width: int = 50) -> str:
+    """One stacked bar from a time breakdown (fractions of ``total``)."""
+    if total <= 0:
+        return ""
+    chars = []
+    for category, glyph in STACK_GLYPHS.items():
+        value = breakdown.get(category, 0)
+        chars.append(glyph * int(round(width * value / total)))
+    return "".join(chars)[:width]
+
+
+def breakdown_chart(bars: Mapping[str, Mapping[str, float]],
+                    title: str = "", width: int = 50) -> str:
+    """Figure 6-style stacked bars, all scaled to the largest total."""
+    if not bars:
+        return title
+    scale = max(sum(values.values()) for values in bars.values())
+    label_width = max(len(str(k)) for k in bars)
+    lines = [title] if title else []
+    for label, values in bars.items():
+        total = sum(values.values())
+        bar_width = int(round(width * total / scale)) if scale else 0
+        lines.append(f"{str(label).rjust(label_width)} "
+                     f"{stacked_bar(values, total, bar_width)}"
+                     f"  ({total:.0f})")
+    legend = "  ".join(f"{glyph}={category}"
+                       for category, glyph in STACK_GLYPHS.items())
+    lines.append(f"{' ' * label_width} [{legend}]")
+    return "\n".join(lines)
+
+
+def series_table(series: Mapping[str, Mapping[int, float]],
+                 title: str = "", fmt: str = "%5.2f") -> str:
+    """Figure 1/4-style: one row per benchmark, one column per CMP count."""
+    if not series:
+        return title
+    columns = sorted({n for row in series.values() for n in row})
+    label_width = max(len(str(k)) for k in series)
+    lines = [title] if title else []
+    header = " ".join(f"{n:>6}" for n in columns)
+    lines.append(f"{' ' * label_width} {header}")
+    for label, row in series.items():
+        cells = " ".join((fmt % row[n]).rjust(6) if n in row else " " * 6
+                         for n in columns)
+        lines.append(f"{str(label).rjust(label_width)} {cells}")
+    return "\n".join(lines)

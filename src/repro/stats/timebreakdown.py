@@ -1,0 +1,73 @@
+"""Per-processor execution-time accounting (Figure 6 of the paper).
+
+Each processor splits its elapsed cycles into the paper's categories:
+
+* **busy** — executing instructions (compute bursts plus the 1-cycle slot
+  charged per memory operation),
+* **stall** — waiting on the memory system beyond the 1-cycle slot,
+* **barrier** — waiting inside barrier synchronization,
+* **lock** — waiting to acquire locks (and event waits),
+* **arsync** — A-R synchronization: an A-stream waiting for a token from
+  its R-stream (A-streams only), or an R-stream waiting on slipstream
+  bookkeeping (input forwarding, recovery).
+
+``busy + stall + barrier + lock + arsync`` equals the processor's active
+cycles; any remainder relative to the node's finish time is idle time
+(e.g. a processor left idle in single mode).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+CATEGORIES = ("busy", "stall", "barrier", "lock", "arsync")
+
+
+@dataclass
+class TimeBreakdown:
+    """Mutable cycle accumulator for one processor."""
+
+    busy: int = 0
+    stall: int = 0
+    barrier: int = 0
+    lock: int = 0
+    arsync: int = 0
+
+    def add(self, category: str, cycles: int) -> None:
+        if cycles < 0:
+            raise ValueError(f"negative cycles for {category}: {cycles}")
+        setattr(self, category, getattr(self, category) + cycles)
+
+    @property
+    def total(self) -> int:
+        return self.busy + self.stall + self.barrier + self.lock + self.arsync
+
+    def as_dict(self) -> Dict[str, int]:
+        return {category: getattr(self, category) for category in CATEGORIES}
+
+    def merged_with(self, other: "TimeBreakdown") -> "TimeBreakdown":
+        return TimeBreakdown(*[getattr(self, c) + getattr(other, c)
+                               for c in CATEGORIES])
+
+    def fractions(self) -> Dict[str, float]:
+        total = self.total
+        if total == 0:
+            return {category: 0.0 for category in CATEGORIES}
+        return {category: getattr(self, category) / total
+                for category in CATEGORIES}
+
+
+def average_breakdown(breakdowns) -> TimeBreakdown:
+    """Element-wise mean of several processors' breakdowns (Figure 6 plots
+    the average across tasks)."""
+    breakdowns = list(breakdowns)
+    if not breakdowns:
+        return TimeBreakdown()
+    result = TimeBreakdown()
+    for breakdown in breakdowns:
+        for category in CATEGORIES:
+            result.add(category, getattr(breakdown, category))
+    for category in CATEGORIES:
+        setattr(result, category, getattr(result, category) // len(breakdowns))
+    return result

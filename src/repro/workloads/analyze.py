@@ -1,0 +1,153 @@
+"""Static workload analysis (no simulation).
+
+Walks a workload's op streams and reports the structural properties that
+determine its slipstream behaviour: op mix, shared footprint, sharing
+degree (how many tasks touch each line), per-task balance, and session
+structure.  The paper's Section 3.1 argues slipstream suits SPMD kernels
+whose addresses derive from private data; this tool quantifies exactly
+that for any program written against the op API.
+
+Used by ``examples/workload_atlas.py`` and the test suite (which checks
+the kernels' documented sharing structure against the analyzer).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.memory.address import AddressSpace, SharedAllocator
+from repro.runtime import ops as op
+from repro.runtime.task import ROLE_R, TaskContext
+from repro.workloads.base import Workload
+
+LINE_SIZE = 64
+
+
+@dataclass
+class TaskProfile:
+    """Per-task static counts."""
+
+    ops: int = 0
+    loads: int = 0
+    stores: int = 0
+    compute_cycles: int = 0
+    barriers: int = 0
+    event_waits: int = 0
+    lock_acquires: int = 0
+    lines_read: Set[int] = field(default_factory=set)
+    lines_written: Set[int] = field(default_factory=set)
+
+    @property
+    def sessions(self) -> int:
+        return self.barriers + self.event_waits
+
+    @property
+    def footprint_lines(self) -> int:
+        return len(self.lines_read | self.lines_written)
+
+
+@dataclass
+class WorkloadProfile:
+    """Whole-workload static analysis result."""
+
+    name: str
+    n_tasks: int
+    tasks: List[TaskProfile]
+    #: line -> number of distinct tasks touching it
+    sharing_degree: Counter
+
+    # ------------------------------------------------------------------
+    @property
+    def total_ops(self) -> int:
+        return sum(t.ops for t in self.tasks)
+
+    @property
+    def shared_lines(self) -> int:
+        """Lines touched by more than one task."""
+        return sum(1 for degree in self.sharing_degree.values()
+                   if degree > 1)
+
+    @property
+    def private_lines(self) -> int:
+        return sum(1 for degree in self.sharing_degree.values()
+                   if degree == 1)
+
+    @property
+    def sharing_fraction(self) -> float:
+        total = len(self.sharing_degree)
+        return self.shared_lines / total if total else 0.0
+
+    @property
+    def max_sharing_degree(self) -> int:
+        return max(self.sharing_degree.values(), default=0)
+
+    @property
+    def comm_to_compute(self) -> float:
+        """Shared-line touches per thousand compute cycles (coarse)."""
+        compute = sum(t.compute_cycles for t in self.tasks)
+        shared_touches = sum(t.loads + t.stores for t in self.tasks)
+        return 1000.0 * shared_touches / compute if compute else float("inf")
+
+    def imbalance(self) -> float:
+        """max/mean ratio of per-task op counts (1.0 = perfectly even)."""
+        counts = [t.ops for t in self.tasks if t.ops]
+        if not counts:
+            return 1.0
+        return max(counts) / (sum(counts) / len(counts))
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "tasks": self.n_tasks,
+            "total_ops": self.total_ops,
+            "sessions": self.tasks[0].sessions if self.tasks else 0,
+            "footprint_lines": len(self.sharing_degree),
+            "shared_lines": self.shared_lines,
+            "sharing_fraction": round(self.sharing_fraction, 3),
+            "max_sharing_degree": self.max_sharing_degree,
+            "locks_per_task": (self.tasks[0].lock_acquires
+                               if self.tasks else 0),
+            "comm_per_kcycle": round(self.comm_to_compute, 2),
+            "imbalance": round(self.imbalance(), 3),
+        }
+
+
+def analyze(workload: Workload, n_tasks: int,
+            n_nodes: int = 4) -> WorkloadProfile:
+    """Statically profile ``workload`` at ``n_tasks`` tasks."""
+    space = AddressSpace(n_nodes)
+    allocator = SharedAllocator(space)
+    workload.allocate(allocator, n_tasks, lambda t: t % n_nodes)
+
+    tasks: List[TaskProfile] = []
+    toucher_sets: Dict[int, Set[int]] = {}
+    for task_id in range(n_tasks):
+        profile = TaskProfile()
+        ctx = TaskContext(task_id, n_tasks, role=ROLE_R)
+        for operation in workload.program(ctx):
+            profile.ops += 1
+            kind = type(operation)
+            if kind is op.Compute:
+                profile.compute_cycles += operation.cycles
+            elif kind is op.Load:
+                line = operation.addr // LINE_SIZE
+                profile.loads += 1
+                profile.lines_read.add(line)
+                toucher_sets.setdefault(line, set()).add(task_id)
+            elif kind is op.Store:
+                line = operation.addr // LINE_SIZE
+                profile.stores += 1
+                profile.lines_written.add(line)
+                toucher_sets.setdefault(line, set()).add(task_id)
+            elif kind is op.Barrier:
+                profile.barriers += 1
+            elif kind is op.EventWait:
+                profile.event_waits += 1
+            elif kind is op.LockAcquire:
+                profile.lock_acquires += 1
+        tasks.append(profile)
+
+    sharing = Counter({line: len(touchers)
+                       for line, touchers in toucher_sets.items()})
+    return WorkloadProfile(workload.name, n_tasks, tasks, sharing)

@@ -1,0 +1,122 @@
+"""CG: NAS conjugate-gradient kernel.
+
+Paper size: NA=1400.  Each iteration does a sparse matrix-vector product
+``q = A p`` (rows block-partitioned; the gather of ``p`` reads lines
+written by every other task — wide producer-consumer sharing that
+slipstream prefetches well), two lock-protected global reductions, and
+vector updates, with barriers between stages.
+
+The sparse structure is generated once per instance from a seeded RNG, so
+the reference stream is identical across modes and streams (SPMD).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.memory.address import SharedAllocator
+from repro.runtime import ops as op
+from repro.runtime.task import TaskContext
+from repro.workloads.base import (ELEMS_PER_LINE, Workload, block_range,
+                                  load_span, place_flat_range, update_span)
+
+
+class CG(Workload):
+    """Conjugate-gradient kernel."""
+
+    name = "cg"
+    paper_size = "NA=1400"
+
+    def __init__(self, n: int = 1024, nnz_per_row: int = 8,
+                 iterations: int = 4, work_per_elem: int = 10,
+                 seed: int = 20030212):
+        self.n = n
+        self.nnz_per_row = nnz_per_row
+        self.iterations = iterations
+        self.work_per_elem = work_per_elem
+        rng = np.random.default_rng(seed)
+        # Column indices per row: a band plus random fill, sorted to get
+        # realistic line reuse in the gather.
+        cols = []
+        for row in range(n):
+            band = rng.integers(max(row - 16, 0), min(row + 16, n - 1),
+                                size=3 * nnz_per_row // 4)
+            far = rng.integers(0, n, size=nnz_per_row - 3 * nnz_per_row // 4)
+            cols.append(np.unique(np.concatenate([band, far])))
+        self._cols = cols
+        self.p = None
+        self.q = None
+        self.r = None
+        self.x = None
+        self.scalars = None
+        self.matrix = None   # CSR values + column indices, streamed per row
+
+    def allocate(self, allocator: SharedAllocator, n_tasks: int,
+                 task_home: Callable[[int], int]) -> None:
+        self.p = allocator.alloc("cg.p", (self.n,))
+        self.q = allocator.alloc("cg.q", (self.n,))
+        self.r = allocator.alloc("cg.r", (self.n,))
+        self.x = allocator.alloc("cg.x", (self.n,))
+        self.scalars = allocator.alloc("cg.scalars", (ELEMS_PER_LINE,))
+        # CSR storage: values and column indices, two 8-byte words per
+        # stored element, streamed sequentially during the matvec.
+        self.matrix = allocator.alloc("cg.a", (self.n, 2 * self.nnz_per_row))
+        for task_id in range(n_tasks):
+            start, stop = block_range(self.n, n_tasks, task_id)
+            node = task_home(task_id)
+            for vector in (self.p, self.q, self.r, self.x):
+                place_flat_range(allocator, vector, start, stop, node)
+            place_flat_range(allocator, self.matrix,
+                             start * 2 * self.nnz_per_row,
+                             stop * 2 * self.nnz_per_row, node)
+
+    # ------------------------------------------------------------------
+    def _reduction_fold(self, vec_a, vec_b, start: int, stop: int) -> Iterator:
+        """Local dot product over owned spans + lock-protected global fold."""
+        yield from load_span(vec_a, start, stop,
+                             work_per_elem=self.work_per_elem // 2)
+        yield from load_span(vec_b, start, stop,
+                             work_per_elem=self.work_per_elem // 2)
+        yield op.LockAcquire("cg.sum")
+        yield op.Load(self.scalars.addr(0))
+        yield op.Compute(4)
+        yield op.Store(self.scalars.addr(0))
+        yield op.LockRelease("cg.sum")
+
+    def program(self, ctx: TaskContext) -> Iterator:
+        start, stop = block_range(self.n, ctx.n_tasks, ctx.task_id)
+        for _iteration in range(self.iterations):
+            # q = A p over owned rows: stream the row's CSR entries
+            # (read-only, evicted between iterations — the prefetchable
+            # bulk of CG) and gather p[cols]; write own q span.
+            for row in range(start, stop):
+                for word in range(0, 2 * self.nnz_per_row, ELEMS_PER_LINE):
+                    yield op.Load(self.matrix.addr(row, word))
+                seen_lines = set()
+                for col in self._cols[row]:
+                    line_base = (int(col) // ELEMS_PER_LINE) * ELEMS_PER_LINE
+                    if line_base in seen_lines:
+                        continue
+                    seen_lines.add(line_base)
+                    yield op.Load(self.p.addr_flat(line_base))
+                yield op.Compute(self.work_per_elem * self.nnz_per_row)
+                if row % ELEMS_PER_LINE == 0 or row == start:
+                    yield op.Store(self.q.addr_flat(row))
+            # alpha = rho / (p . q) — local dot plus global locked fold,
+            # in the same session as the matvec (NAS CG synchronizes only
+            # a few times per iteration).
+            yield from self._reduction_fold(self.p, self.q, start, stop)
+            yield op.Barrier("cg.spmv")
+            # x += alpha p ; r -= alpha q (owned spans); rho' = r . r
+            yield from update_span(self.x, start, stop,
+                                   work_per_elem=self.work_per_elem)
+            yield from update_span(self.r, start, stop,
+                                   work_per_elem=self.work_per_elem)
+            yield from self._reduction_fold(self.r, self.r, start, stop)
+            yield op.Barrier("cg.update")
+            # p = r + beta p (owned span; read by everyone next iteration)
+            yield from update_span(self.p, start, stop,
+                                   work_per_elem=self.work_per_elem)
+            yield op.Barrier("cg.iter")

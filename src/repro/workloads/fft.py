@@ -1,0 +1,115 @@
+"""FFT: six-step 1-D complex FFT (SPLASH-2 style).
+
+Paper size: 64K complex doubles.  The dataset is a sqrt(N) x sqrt(N)
+complex matrix; computation alternates row-local FFTs with matrix
+transposes.  The transposes are all-to-all: every task reads a patch of
+every other task's rows, which is why FFT's single-mode performance
+*degrades* beyond 4 CMPs at small sizes (Figure 4) — communication grows
+while per-task computation shrinks.
+
+Complex elements are 16 bytes, so 4 elements per 64-byte line.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.memory.address import SharedAllocator
+from repro.runtime import ops as op
+from repro.runtime.task import TaskContext
+from repro.workloads.base import Workload, block_range
+
+#: complex double = 16 bytes -> 4 per cache line
+CPLX_PER_LINE = 4
+
+
+class FFT(Workload):
+    """Six-step FFT kernel."""
+
+    name = "fft"
+    paper_size = "64K complex doubles"
+
+    def __init__(self, n1: int = 48, work_per_point: int = 2):
+        # n1 x n1 complex matrix (N = n1^2 points)
+        if n1 % CPLX_PER_LINE:
+            raise ValueError("n1 must be a multiple of 4 (complex per line)")
+        self.n1 = n1
+        self.work_per_point = work_per_point
+        self.data = None
+        self.scratch = None
+
+    def allocate(self, allocator: SharedAllocator, n_tasks: int,
+                 task_home: Callable[[int], int]) -> None:
+        self.data = allocator.alloc("fft.data", (self.n1, self.n1),
+                                    elem_size=16)
+        self.scratch = allocator.alloc("fft.scratch", (self.n1, self.n1),
+                                       elem_size=16)
+        # Row blocks are homed with their owning task (first touch).
+        from repro.workloads.base import place_rows
+        for task_id in range(n_tasks):
+            start, stop = block_range(self.n1, n_tasks, task_id)
+            place_rows(allocator, self.data, start, stop, task_home(task_id))
+            place_rows(allocator, self.scratch, start, stop,
+                       task_home(task_id))
+
+    # ------------------------------------------------------------------
+    # Phases
+    # ------------------------------------------------------------------
+    def _row_ffts(self, source, row_start: int, row_stop: int) -> Iterator:
+        """Local FFT over owned rows of ``source`` (in place)."""
+        # log2(n1) butterfly passes, approximated as one pass over the
+        # rows with n1*log(n1) work.
+        log_n1 = max(self.n1.bit_length() - 1, 1)
+        for row in range(row_start, row_stop):
+            for col in range(0, self.n1, CPLX_PER_LINE):
+                yield op.Load(source.addr(row, col))
+            yield op.Compute(self.work_per_point * self.n1 * log_n1 // 4)
+            for col in range(0, self.n1, CPLX_PER_LINE):
+                yield op.Store(source.addr(row, col))
+
+    def _transpose(self, source, dest, ctx: TaskContext) -> Iterator:
+        """Blocked transpose: read column patches from every task's rows of
+        ``source``, write into owned rows of ``dest``."""
+        my_rows = block_range(self.n1, ctx.n_tasks, ctx.task_id)
+        # Unstaggered all-to-all: every task walks the source blocks in the
+        # same order, so the reads converge on one home node at a time and
+        # queue at its directory controller — the hot-spotting that makes
+        # naive transposes stop scaling (and FFT degrade in Figure 4).
+        for step in range(ctx.n_tasks):
+            other = step
+            src_rows = block_range(self.n1, ctx.n_tasks, other)
+            # The patch source[src_rows, my_rows-as-cols]: reading a row
+            # segment of length |my_rows| per remote row.
+            for row in range(*src_rows):
+                for col in range(my_rows[0], my_rows[1], CPLX_PER_LINE):
+                    yield op.Load(source.addr(row, col))
+                yield op.Compute(self.work_per_point
+                                 * (my_rows[1] - my_rows[0]))
+            # Write the transposed patch into our own rows.
+            for row in range(*my_rows):
+                for col in range(src_rows[0], src_rows[1], CPLX_PER_LINE):
+                    yield op.Store(dest.addr(row, col))
+
+    def program(self, ctx: TaskContext) -> Iterator:
+        row_start, row_stop = block_range(self.n1, ctx.n_tasks, ctx.task_id)
+        # Step 1: transpose data -> scratch
+        yield from self._transpose(self.data, self.scratch, ctx)
+        yield op.Barrier("fft.t1")
+        # Step 2: row FFTs on scratch
+        yield from self._row_ffts(self.scratch, row_start, row_stop)
+        # Step 3: twiddle multiply (in place, own rows)
+        for row in range(row_start, row_stop):
+            for col in range(0, self.n1, CPLX_PER_LINE):
+                yield op.Load(self.scratch.addr(row, col))
+                yield op.Compute(self.work_per_point * CPLX_PER_LINE)
+                yield op.Store(self.scratch.addr(row, col))
+        yield op.Barrier("fft.t2")
+        # Step 4: transpose scratch -> data
+        yield from self._transpose(self.scratch, self.data, ctx)
+        yield op.Barrier("fft.t3")
+        # Step 5: row FFTs on data
+        yield from self._row_ffts(self.data, row_start, row_stop)
+        yield op.Barrier("fft.t4")
+        # Step 6: final transpose data -> scratch
+        yield from self._transpose(self.data, self.scratch, ctx)
+        yield op.Barrier("fft.done")

@@ -1,0 +1,109 @@
+"""MG: NAS multigrid kernel (V-cycles on a 3-D grid).
+
+Paper size: 32x32x32.  The grid is partitioned along z-planes; each V-cycle
+relaxes with a 7-point stencil (communicating boundary planes), restricts
+down a level hierarchy, relaxes at the bottom, and prolongates back up.
+At the coarse levels every task owns only a plane or two, so the
+surface-to-volume ratio collapses and communication dominates — the source
+of MG's diminishing returns in Figure 4.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List
+
+from repro.memory.address import SharedAllocator
+from repro.runtime import ops as op
+from repro.runtime.task import TaskContext
+from repro.workloads.base import (ELEMS_PER_LINE, Workload, block_range,
+                                  place_flat_range)
+
+
+class MG(Workload):
+    """Multigrid V-cycle kernel."""
+
+    name = "mg"
+    paper_size = "32x32x32"
+
+    def __init__(self, size: int = 32, levels: int = 3, cycles: int = 2,
+                 work_per_elem: int = 8):
+        if size >> (levels - 1) < 2:
+            raise ValueError("too many levels for this grid size")
+        self.size = size
+        self.levels = levels
+        self.cycles = cycles
+        self.work_per_elem = work_per_elem
+        self.grids: List = []
+
+    def allocate(self, allocator: SharedAllocator, n_tasks: int,
+                 task_home: Callable[[int], int]) -> None:
+        self.grids = []
+        for level in range(self.levels):
+            dim = max(self.size >> level, 2)
+            grid = allocator.alloc(f"mg.l{level}", (dim, dim, dim))
+            self.grids.append(grid)
+            plane = dim * dim
+            for task_id in range(n_tasks):
+                z_start, z_stop = block_range(dim, n_tasks, task_id)
+                place_flat_range(allocator, grid, z_start * plane,
+                                 z_stop * plane, task_home(task_id))
+
+    # ------------------------------------------------------------------
+    def _plane_span(self, grid, z: int) -> Iterator[int]:
+        dim = grid.shape[0]
+        plane = dim * dim
+        for flat in range(z * plane, (z + 1) * plane, ELEMS_PER_LINE):
+            yield grid.addr_flat(flat)
+
+    def _relax(self, level: int, ctx: TaskContext, bid: str) -> Iterator:
+        """7-point stencil sweep over owned z-planes."""
+        grid = self.grids[level]
+        dim = grid.shape[0]
+        z_start, z_stop = block_range(dim, ctx.n_tasks, ctx.task_id)
+        line_work = self.work_per_elem * ELEMS_PER_LINE
+        for z in range(z_start, z_stop):
+            # boundary planes of the neighbours (shared traffic)
+            if z - 1 >= 0 and z - 1 < z_start:
+                for addr in self._plane_span(grid, z - 1):
+                    yield op.Load(addr)
+            if z + 1 < dim and z + 1 >= z_stop:
+                for addr in self._plane_span(grid, z + 1):
+                    yield op.Load(addr)
+            for addr in self._plane_span(grid, z):
+                yield op.Load(addr)
+                yield op.Compute(line_work)
+                yield op.Store(addr)
+        yield op.Barrier(bid)
+
+    def _transfer(self, src_level: int, dst_level: int, ctx: TaskContext,
+                  bid: str) -> Iterator:
+        """Restrict (fine->coarse) or prolongate (coarse->fine)."""
+        src = self.grids[src_level]
+        dst = self.grids[dst_level]
+        dim = dst.shape[0]
+        src_dim = src.shape[0]
+        z_start, z_stop = block_range(dim, ctx.n_tasks, ctx.task_id)
+        line_work = self.work_per_elem * ELEMS_PER_LINE
+        for z in range(z_start, z_stop):
+            src_z = min(z * src_dim // dim, src_dim - 1)
+            for addr in self._plane_span(src, src_z):
+                yield op.Load(addr)
+            yield op.Compute(line_work * max(src_dim // dim, 1))
+            for addr in self._plane_span(dst, z):
+                yield op.Store(addr)
+        yield op.Barrier(bid)
+
+    def program(self, ctx: TaskContext) -> Iterator:
+        for _cycle in range(self.cycles):
+            # Down-leg: relax then restrict at each level.
+            for level in range(self.levels - 1):
+                yield from self._relax(level, ctx, f"mg.relax{level}")
+                yield from self._transfer(level, level + 1, ctx,
+                                          f"mg.restrict{level}")
+            # Bottom solve.
+            yield from self._relax(self.levels - 1, ctx, "mg.bottom")
+            # Up-leg: prolongate then relax.
+            for level in range(self.levels - 2, -1, -1):
+                yield from self._transfer(level + 1, level, ctx,
+                                          f"mg.prolong{level}")
+                yield from self._relax(level, ctx, f"mg.post{level}")

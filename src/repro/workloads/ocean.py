@@ -1,0 +1,108 @@
+"""Ocean: eddy-current ocean basin simulator (SPLASH-2, contiguous).
+
+Paper size: 258x258.  Ocean runs many short stencil phases per timestep
+over several 2-D grids (stream function, vorticity, multigrid solver work
+arrays), separated by barriers — lots of barriers over modest work, with
+nearest-neighbour row sharing, which is exactly the profile that stops
+scaling around 8 CMPs in Figure 4.
+
+Modeled as: per timestep, a sequence of 5-point-stencil phases over three
+state grids, plus a two-level multigrid relaxation (restrict, coarse
+relax, prolong) on a work grid.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.memory.address import SharedAllocator
+from repro.runtime import ops as op
+from repro.runtime.task import TaskContext
+from repro.workloads.base import (ELEMS_PER_LINE, Workload, block_range,
+                                  place_rows)
+
+
+class Ocean(Workload):
+    """Ocean kernel: multi-grid, multi-phase stencils."""
+
+    name = "ocean"
+    paper_size = "258x258"
+
+    def __init__(self, rows: int = 128, cols: int = 96, timesteps: int = 2,
+                 work_per_elem: int = 7):
+        self.rows = rows
+        self.cols = cols
+        self.timesteps = timesteps
+        self.work_per_elem = work_per_elem
+        self.grids = None
+        self.coarse = None
+
+    def allocate(self, allocator: SharedAllocator, n_tasks: int,
+                 task_home: Callable[[int], int]) -> None:
+        self.grids = [
+            allocator.alloc(f"ocean.g{i}", (self.rows, self.cols))
+            for i in range(3)]
+        self.coarse = allocator.alloc(
+            "ocean.coarse", (max(self.rows // 2, 4), max(self.cols // 2, 8)))
+        for task_id in range(n_tasks):
+            start, stop = block_range(self.rows, n_tasks, task_id)
+            node = task_home(task_id)
+            for grid in self.grids:
+                place_rows(allocator, grid, start, stop, node)
+            c_start, c_stop = block_range(self.coarse.shape[0], n_tasks,
+                                          task_id)
+            place_rows(allocator, self.coarse, c_start, c_stop, node)
+
+    # ------------------------------------------------------------------
+    def _stencil_phase(self, src, dst, row_range, bid: str) -> Iterator:
+        """dst[own rows] = stencil(src), then barrier."""
+        rows = src.shape[0]
+        line_work = self.work_per_elem * ELEMS_PER_LINE
+        for row in range(*row_range):
+            if row == 0 or row == rows - 1:
+                continue
+            for col in range(0, src.shape[1], ELEMS_PER_LINE):
+                yield op.Load(src.addr(row - 1, col))
+                yield op.Load(src.addr(row + 1, col))
+                yield op.Load(src.addr(row, col))
+                yield op.Compute(line_work)
+                yield op.Store(dst.addr(row, col))
+        yield op.Barrier(bid)
+
+    def program(self, ctx: TaskContext) -> Iterator:
+        g0, g1, g2 = self.grids
+        row_range = block_range(self.rows, ctx.n_tasks, ctx.task_id)
+        c_range = block_range(self.coarse.shape[0], ctx.n_tasks, ctx.task_id)
+        line_work = self.work_per_elem * ELEMS_PER_LINE
+        for _step in range(self.timesteps):
+            # Laplacian / friction / advection phases over the state grids
+            # (Ocean runs dozens of short barrier-separated phases per
+            # timestep; we model six).
+            yield from self._stencil_phase(g0, g1, row_range, "ocean.p1")
+            yield from self._stencil_phase(g1, g2, row_range, "ocean.p2")
+            yield from self._stencil_phase(g2, g0, row_range, "ocean.p3")
+            yield from self._stencil_phase(g0, g2, row_range, "ocean.p4")
+            yield from self._stencil_phase(g2, g1, row_range, "ocean.p5")
+            yield from self._stencil_phase(g1, g0, row_range, "ocean.p6")
+            # Multigrid solve on the work grid: restrict own rows.
+            for row in range(*c_range):
+                fine_row = min(2 * row, self.rows - 1)
+                for col in range(0, self.coarse.shape[1], ELEMS_PER_LINE):
+                    yield op.Load(g0.addr(fine_row, min(2 * col,
+                                                        self.cols - 1)))
+                    yield op.Compute(line_work)
+                    yield op.Store(self.coarse.addr(row, col))
+            yield op.Barrier("ocean.restrict")
+            # Coarse relaxation sweeps (2x).
+            for _sweep in range(2):
+                yield from self._stencil_phase(self.coarse, self.coarse,
+                                               c_range, "ocean.relax")
+            # Prolong back to the fine grid.
+            for row in range(*row_range):
+                coarse_row = min(row // 2, self.coarse.shape[0] - 1)
+                for col in range(0, self.cols, ELEMS_PER_LINE):
+                    yield op.Load(self.coarse.addr(
+                        coarse_row, min(col // 2, self.coarse.shape[1] - 1)))
+                    yield op.Compute(line_work)
+                    yield op.Store(g0.addr(row, col))
+            yield op.Barrier("ocean.prolong")

@@ -1,0 +1,70 @@
+"""SOR: red-black successive over-relaxation on a 2-D grid.
+
+Paper size: 1024x1024.  Structure: rows are block-partitioned across
+tasks; each sweep updates a task's rows from the neighbouring rows, so the
+only communication is the boundary rows between adjacent partitions
+(classic producer-consumer nearest-neighbour sharing), with a barrier
+between half-sweeps.
+
+This is the paper's example of a kernel whose scalability is exhausted at
+the evaluated sizes (double mode gains nothing), making it a good
+slipstream target.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.memory.address import SharedAllocator
+from repro.runtime import ops as op
+from repro.runtime.task import TaskContext
+from repro.workloads.base import (ELEMS_PER_LINE, Workload, block_range,
+                                  place_rows)
+
+
+class SOR(Workload):
+    """Red-black SOR kernel."""
+
+    name = "sor"
+    paper_size = "1024x1024"
+
+    def __init__(self, rows: int = 128, cols: int = 128,
+                 iterations: int = 4, work_per_elem: int = 4):
+        if rows < 4 or cols < ELEMS_PER_LINE:
+            raise ValueError("grid too small")
+        self.rows = rows
+        self.cols = cols
+        self.iterations = iterations
+        self.work_per_elem = work_per_elem
+        self.grid = None
+
+    def allocate(self, allocator: SharedAllocator, n_tasks: int,
+                 task_home: Callable[[int], int]) -> None:
+        self.grid = allocator.alloc("sor.grid", (self.rows, self.cols))
+        for task_id in range(n_tasks):
+            start, stop = block_range(self.rows, n_tasks, task_id)
+            place_rows(allocator, self.grid, start, stop,
+                       task_home(task_id))
+
+    def program(self, ctx: TaskContext) -> Iterator:
+        grid = self.grid
+        row_start, row_stop = block_range(self.rows, ctx.n_tasks,
+                                          ctx.task_id)
+        line_work = self.work_per_elem * ELEMS_PER_LINE
+        for _iteration in range(self.iterations):
+            for colour in (0, 1):  # red then black half-sweep
+                for row in range(row_start, row_stop):
+                    if row == 0 or row == self.rows - 1:
+                        continue  # fixed boundary rows
+                    if row % 2 != colour:
+                        continue
+                    for col in range(0, self.cols, ELEMS_PER_LINE):
+                        # 5-point stencil at line granularity: the north
+                        # and south rows are loads (the boundary ones are
+                        # the shared traffic); east/west stay in-line.
+                        yield op.Load(grid.addr(row - 1, col))
+                        yield op.Load(grid.addr(row + 1, col))
+                        yield op.Load(grid.addr(row, col))
+                        yield op.Compute(line_work)
+                        yield op.Store(grid.addr(row, col))
+                yield op.Barrier("sor.sweep")

@@ -1,0 +1,146 @@
+"""SP: NAS scalar-pentadiagonal ADI solver.
+
+Paper size: 16x16x16.  Each iteration computes a right-hand side, then
+performs line solves along x, y, and z.  With a z-plane partition the x
+and y sweeps are local, but the z sweep runs *across* the partition: each
+task needs its neighbours' boundary planes both before (forward
+elimination) and after (back substitution) — tight producer-consumer
+coupling over little computation, which is why SP stops scaling early on
+a 16^3 grid.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.memory.address import SharedAllocator
+from repro.runtime import ops as op
+from repro.runtime.task import TaskContext
+from repro.workloads.base import (ELEMS_PER_LINE, Workload, block_range,
+                                  place_flat_range)
+
+
+class SP(Workload):
+    """ADI line-solve kernel."""
+
+    name = "sp"
+    paper_size = "16x16x16"
+
+    def __init__(self, size: int = 16, iterations: int = 3,
+                 work_per_elem: int = 12):
+        self.size = size
+        self.iterations = iterations
+        self.work_per_elem = work_per_elem
+        self.u = None      # solution grid
+        self.rhs = None    # right-hand side
+
+    def allocate(self, allocator: SharedAllocator, n_tasks: int,
+                 task_home: Callable[[int], int]) -> None:
+        dim = self.size
+        self.u = allocator.alloc("sp.u", (dim, dim, dim))
+        self.rhs = allocator.alloc("sp.rhs", (dim, dim, dim))
+        plane = dim * dim
+        for task_id in range(n_tasks):
+            z_start, z_stop = block_range(dim, n_tasks, task_id)
+            node = task_home(task_id)
+            for grid in (self.u, self.rhs):
+                place_flat_range(allocator, grid, z_start * plane,
+                                 z_stop * plane, node)
+
+    # ------------------------------------------------------------------
+    def _plane_addrs(self, grid, z: int) -> Iterator[int]:
+        plane = self.size * self.size
+        for flat in range(z * plane, (z + 1) * plane, ELEMS_PER_LINE):
+            yield grid.addr_flat(flat)
+
+    def _local_sweep(self, ctx: TaskContext, bid: str) -> Iterator:
+        """x/y line solves: all traffic within owned planes."""
+        z_start, z_stop = block_range(self.size, ctx.n_tasks, ctx.task_id)
+        line_work = self.work_per_elem * ELEMS_PER_LINE
+        for z in range(z_start, z_stop):
+            for addr in self._plane_addrs(self.rhs, z):
+                yield op.Load(addr)
+            for addr in self._plane_addrs(self.u, z):
+                yield op.Load(addr)
+                yield op.Compute(line_work)
+                yield op.Store(addr)
+        yield op.Barrier(bid)
+
+    #: column strips per plane in the z-sweep wavefront
+    Z_CHUNKS = 4
+
+    def _chunk_addrs(self, grid, z: int, chunk: int) -> Iterator[int]:
+        """Addresses of one column strip of plane ``z``."""
+        plane = self.size * self.size
+        strip = plane // self.Z_CHUNKS
+        base = z * plane + chunk * strip
+        for flat in range(base, base + strip, ELEMS_PER_LINE):
+            yield grid.addr_flat(flat)
+
+    def _z_sweep(self, ctx: TaskContext, iteration: int) -> Iterator:
+        """z line solve: a true recurrence along z, run as a wavefront.
+
+        Each column strip of the grid is a chain of dependent line solves
+        from plane 0 to plane N-1 (forward) and back.  Task ``t`` may only
+        start a strip once task ``t-1`` finished that strip, so the sweep
+        pipelines across tasks at strip granularity — the fill/drain
+        serialization that caps SP's scalability on a z-partitioned 16^3
+        grid (and that the multi-partition decompositions of later NAS
+        implementations exist to avoid).
+        """
+        z_start, z_stop = block_range(self.size, ctx.n_tasks, ctx.task_id)
+        line_work = self.work_per_elem * ELEMS_PER_LINE
+        # Forward elimination, task 0 -> task N-1.
+        for chunk in range(self.Z_CHUNKS):
+            if ctx.task_id > 0:
+                yield op.EventWait(("sp.zf", iteration, chunk, ctx.task_id))
+                if z_start > 0:
+                    for addr in self._chunk_addrs(self.u, z_start - 1, chunk):
+                        yield op.Load(addr)
+            for z in range(z_start, z_stop):
+                for addr in self._chunk_addrs(self.u, z, chunk):
+                    yield op.Load(addr)
+                    yield op.Compute(line_work)
+                    yield op.Store(addr)
+            if ctx.task_id + 1 < ctx.n_tasks:
+                yield op.EventSet(("sp.zf", iteration, chunk,
+                                   ctx.task_id + 1))
+        yield op.Barrier("sp.zfwd")
+        # Back substitution, task N-1 -> task 0.
+        for chunk in range(self.Z_CHUNKS):
+            if ctx.task_id + 1 < ctx.n_tasks:
+                yield op.EventWait(("sp.zb", iteration, chunk, ctx.task_id))
+                if z_stop < self.size:
+                    for addr in self._chunk_addrs(self.u, z_stop, chunk):
+                        yield op.Load(addr)
+            for z in range(z_stop - 1, z_start - 1, -1):
+                for addr in self._chunk_addrs(self.u, z, chunk):
+                    yield op.Load(addr)
+                    yield op.Compute(line_work)
+                    yield op.Store(addr)
+            if ctx.task_id > 0:
+                yield op.EventSet(("sp.zb", iteration, chunk,
+                                   ctx.task_id - 1))
+        yield op.Barrier("sp.zback")
+
+    def program(self, ctx: TaskContext) -> Iterator:
+        z_start, z_stop = block_range(self.size, ctx.n_tasks, ctx.task_id)
+        line_work = self.work_per_elem * ELEMS_PER_LINE
+        for _iteration in range(self.iterations):
+            # RHS computation: 7-point stencil incl. neighbour planes.
+            for z in range(z_start, z_stop):
+                if z - 1 >= 0 and z - 1 < z_start:
+                    for addr in self._plane_addrs(self.u, z - 1):
+                        yield op.Load(addr)
+                if z + 1 < self.size and z + 1 >= z_stop:
+                    for addr in self._plane_addrs(self.u, z + 1):
+                        yield op.Load(addr)
+                for addr in self._plane_addrs(self.u, z):
+                    yield op.Load(addr)
+                    yield op.Compute(line_work)
+                for addr in self._plane_addrs(self.rhs, z):
+                    yield op.Store(addr)
+            yield op.Barrier("sp.rhs")
+            yield from self._local_sweep(ctx, "sp.xsweep")
+            yield from self._local_sweep(ctx, "sp.ysweep")
+            yield from self._z_sweep(ctx, _iteration)

@@ -1,0 +1,181 @@
+"""Operation-trace export and replay.
+
+Two entry points make the simulator usable with reference streams that do
+not come from the built-in kernels:
+
+* :func:`dump_trace` writes any workload's per-task op streams (plus its
+  page-placement decisions) to a plain-text file;
+* :class:`TraceWorkload` replays such a file as a workload — including
+  under slipstream mode, since the replayed stream is SPMD by construction.
+
+The format is line-oriented and deliberately trivial to generate from any
+external tool (a Pin trace, another simulator, a hand-written scenario)::
+
+    # comment
+    P <page> <node>              page placement (applies to all tasks)
+    T <task_id>                  following ops belong to this task
+    C <cycles>                   compute burst
+    L <addr>                     shared load        (addr decimal or 0x hex)
+    S <addr>                     shared store
+    B <id>                       barrier
+    LA <id> / LR <id>            lock acquire / release
+    EW <id> / ES <id> / EC <id>  event wait / set / clear
+    I <cycles> <key...>          once-only input (R performs, A receives)
+    O [cycles]                   once-only output (A skips)
+
+A replayed single-mode or slipstream-mode run of a dumped built-in kernel
+is cycle-identical to the original (tested), because both the op streams
+and the first-touch page placements round-trip.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Tuple
+
+from repro.memory.address import AddressSpace, SharedAllocator
+from repro.runtime import ops as op
+from repro.runtime.task import ROLE_R, TaskContext
+from repro.workloads.base import Workload
+
+
+def _parse_int(token: str) -> int:
+    return int(token, 16) if token.lower().startswith("0x") else int(token)
+
+
+def dump_trace(workload: Workload, n_tasks: int, path: str,
+               n_nodes: int = None,
+               task_home: Callable[[int], int] = None) -> None:
+    """Write ``workload``'s op streams for ``n_tasks`` tasks to ``path``.
+
+    Placement is captured with the identity ``task_home`` (task i on node
+    i) by default — the mapping single and slipstream modes use.
+    """
+    n_nodes = n_nodes if n_nodes is not None else n_tasks
+    task_home = task_home or (lambda task_id: task_id % n_nodes)
+    space = AddressSpace(max(n_nodes, 1))
+    allocator = SharedAllocator(space)
+    workload.allocate(allocator, n_tasks, task_home)
+
+    lines: List[str] = [f"# trace of {workload.name} with {n_tasks} tasks"]
+    for page, node in sorted(space._page_homes.items()):
+        lines.append(f"P {page} {node}")
+    for task_id in range(n_tasks):
+        lines.append(f"T {task_id}")
+        ctx = TaskContext(task_id, n_tasks, role=ROLE_R)
+        for operation in workload.program(ctx):
+            lines.append(_encode(operation))
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def _encode(operation) -> str:
+    """One op per line.  Synchronization ids are carried as opaque
+    strings (tuples and other hashables stringify; only their equality
+    matters for replay)."""
+    kind = type(operation)
+    if kind is op.Compute:
+        return f"C {operation.cycles}"
+    if kind is op.Load:
+        return f"L {operation.addr:#x}"
+    if kind is op.Store:
+        return f"S {operation.addr:#x}"
+    if kind is op.Barrier:
+        return f"B {operation.bid}"
+    if kind is op.LockAcquire:
+        return f"LA {operation.lid}"
+    if kind is op.LockRelease:
+        return f"LR {operation.lid}"
+    if kind is op.EventWait:
+        return f"EW {operation.eid}"
+    if kind is op.EventSet:
+        return f"ES {operation.eid}"
+    if kind is op.EventClear:
+        return f"EC {operation.eid}"
+    if kind is op.Input:
+        return f"I {operation.cycles} {operation.key}"
+    if kind is op.Output:
+        return f"O {operation.cycles}"
+    raise TypeError(f"cannot encode {operation!r}")
+
+
+class TraceWorkload(Workload):
+    """Replay a dumped (or externally generated) operation trace."""
+
+    name = "trace"
+    paper_size = "(external trace)"
+
+    def __init__(self, path: str):
+        self.path = str(path)
+        self._placements: List[Tuple[int, int]] = []
+        self._tasks: Dict[int, List[str]] = {}
+        self._parse(Path(path).read_text())
+
+    def _parse(self, text: str) -> None:
+        current: List[str] = []
+        for line_no, raw in enumerate(text.splitlines(), 1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split(maxsplit=2)
+            tag = fields[0]
+            if tag == "P":
+                self._placements.append((_parse_int(fields[1]),
+                                         int(fields[2])))
+            elif tag == "T":
+                task_id = int(fields[1])
+                current = self._tasks.setdefault(task_id, [])
+            elif tag in ("C", "L", "S", "B", "LA", "LR", "EW", "ES", "EC",
+                         "I", "O"):
+                current.append(line)
+            else:
+                raise ValueError(
+                    f"{self.path}:{line_no}: unknown record {tag!r}")
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self._tasks)
+
+    # ------------------------------------------------------------------
+    def allocate(self, allocator: SharedAllocator, n_tasks: int,
+                 task_home: Callable[[int], int]) -> None:
+        if n_tasks != self.n_tasks:
+            raise ValueError(
+                f"trace was recorded with {self.n_tasks} tasks; cannot run "
+                f"it with {n_tasks} (re-record, or pick a matching mode)")
+        space = allocator.space
+        for page, node in self._placements:
+            if node < space.n_nodes:
+                space.place_page(page, node)
+
+    def program(self, ctx: TaskContext) -> Iterator:
+        for line in self._tasks.get(ctx.task_id, []):
+            yield _decode(line)
+
+
+def _decode(line: str):
+    tag, _, rest = line.partition(" ")
+    rest = rest.strip()
+    if tag == "C":
+        return op.Compute(int(rest))
+    if tag == "L":
+        return op.Load(_parse_int(rest))
+    if tag == "S":
+        return op.Store(_parse_int(rest))
+    if tag == "B":
+        return op.Barrier(rest)
+    if tag == "LA":
+        return op.LockAcquire(rest)
+    if tag == "LR":
+        return op.LockRelease(rest)
+    if tag == "EW":
+        return op.EventWait(rest)
+    if tag == "ES":
+        return op.EventSet(rest)
+    if tag == "EC":
+        return op.EventClear(rest)
+    if tag == "I":
+        cycles_str, _, key = rest.partition(" ")
+        return op.Input(key or cycles_str, cycles=int(cycles_str))
+    if tag == "O":
+        return op.Output(cycles=int(rest) if rest else 100)
+    raise ValueError(f"cannot decode {line!r}")

@@ -1,0 +1,110 @@
+"""Water-NS: n-squared molecular dynamics (SPLASH-2 Water-Nsquared).
+
+Paper size: 512 molecules.  Each molecule's record is split the way the
+SPLASH-2 code lays it out: the *position* lines read by everyone during the
+force phase are written only in the corrector, while the predictor updates
+the *derivative* lines — so the force phase's broadcast gather reads data
+that has been stable for a whole phase, which is what makes it profitably
+prefetchable by an A-stream running a session ahead.
+
+Per timestep: predictor over owned derivatives, an O(M^2) pairwise force
+phase (gather all positions + private accumulation + per-molecule locked
+folds into the global force array — migratory sharing that transparent
+loads and self-invalidation help), and a corrector writing positions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.memory.address import SharedAllocator
+from repro.runtime import ops as op
+from repro.runtime.task import TaskContext
+from repro.workloads.base import ELEMS_PER_LINE, Workload, block_range
+
+#: lines per molecule: position record (read in the force phase)
+POS_LINES = 4
+#: lines per molecule: predictor-corrector derivatives (private-ish)
+DERIV_LINES = 2
+
+
+class WaterNSquared(Workload):
+    """O(M^2) molecular-dynamics kernel."""
+
+    name = "water-ns"
+    paper_size = "512 molecules"
+
+    def __init__(self, molecules: int = 128, timesteps: int = 2,
+                 work_per_pair: int = 120, n_locks: int = 128):
+        self.molecules = molecules
+        self.timesteps = timesteps
+        self.work_per_pair = work_per_pair
+        self.n_locks = n_locks
+        self.positions = None
+        self.derivs = None
+        self.forces = None
+
+    def allocate(self, allocator: SharedAllocator, n_tasks: int,
+                 task_home: Callable[[int], int]) -> None:
+        self.positions = allocator.alloc(
+            "water.pos", (self.molecules, POS_LINES * ELEMS_PER_LINE))
+        self.derivs = allocator.alloc(
+            "water.drv", (self.molecules, DERIV_LINES * ELEMS_PER_LINE))
+        self.forces = allocator.alloc(
+            "water.frc", (self.molecules, ELEMS_PER_LINE))
+        from repro.workloads.base import place_rows
+        for task_id in range(n_tasks):
+            start, stop = block_range(self.molecules, n_tasks, task_id)
+            node = task_home(task_id)
+            for array in (self.positions, self.derivs, self.forces):
+                place_rows(allocator, array, start, stop, node)
+
+    # ------------------------------------------------------------------
+    def program(self, ctx: TaskContext) -> Iterator:
+        start, stop = block_range(self.molecules, ctx.n_tasks, ctx.task_id)
+        m = self.molecules
+        for _step in range(self.timesteps):
+            # --- predictor: update owned derivative records ---
+            for i in range(start, stop):
+                for part in range(DERIV_LINES):
+                    yield op.Load(self.derivs.addr(i, part * ELEMS_PER_LINE))
+                    yield op.Compute(self.work_per_pair // 2)
+                    yield op.Store(self.derivs.addr(i, part * ELEMS_PER_LINE))
+            yield op.Barrier("water.predict")
+            # --- force phase ---
+            # Gather every molecule's position record (stable since the
+            # last corrector) and accumulate pair forces privately.  Each
+            # task starts the sweep at its own block so the broadcast does
+            # not convoy on one molecule's home at a time.
+            for jj in range(0, m):
+                j = (start + jj) % m
+                for part in range(POS_LINES):
+                    yield op.Load(self.positions.addr(j, part * ELEMS_PER_LINE))
+                yield op.Compute(self.work_per_pair // 4)
+            pair_work = 0
+            for i in range(start, stop):
+                pair_work += self.work_per_pair * (m - 1 - i)
+            yield op.Compute(max(pair_work, 1))
+            # Fold partial forces into the global array under locks,
+            # again starting at the task's own block to avoid convoying.
+            for jj in range(0, m):
+                j = (start + jj) % m
+                if start <= j < stop:
+                    yield op.Load(self.forces.addr(j, 0))
+                    yield op.Compute(4)
+                    yield op.Store(self.forces.addr(j, 0))
+                else:
+                    yield op.LockAcquire(("water.flock", j % self.n_locks))
+                    yield op.Load(self.forces.addr(j, 0))
+                    yield op.Compute(4)
+                    yield op.Store(self.forces.addr(j, 0))
+                    yield op.LockRelease(("water.flock", j % self.n_locks))
+            yield op.Barrier("water.force")
+            # --- corrector: write owned positions from forces ---
+            for i in range(start, stop):
+                yield op.Load(self.forces.addr(i, 0))
+                for part in range(POS_LINES):
+                    yield op.Load(self.positions.addr(i, part * ELEMS_PER_LINE))
+                    yield op.Compute(self.work_per_pair // 2)
+                    yield op.Store(self.positions.addr(i, part * ELEMS_PER_LINE))
+            yield op.Barrier("water.correct")

@@ -1,0 +1,84 @@
+"""Water-SP: spatial (cell-list) molecular dynamics (SPLASH-2 Water-Spatial).
+
+Paper size: 512 molecules.  Unlike Water-NS, molecules live in a grid of
+spatial cells and only interact with the 26 neighbouring cells, so
+communication is limited to cell-boundary neighbours and the kernel keeps
+scaling (Figure 4's first group, where slipstream has little to offer).
+
+Modeled as a 2-D cell grid (a z-flattened view): each task owns a block of
+cell rows; the force phase reads the boundary cell rows of the two
+neighbouring tasks only.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.memory.address import SharedAllocator
+from repro.runtime import ops as op
+from repro.runtime.task import TaskContext
+from repro.workloads.base import (ELEMS_PER_LINE, Workload, block_range,
+                                  place_rows)
+
+
+class WaterSpatial(Workload):
+    """Cell-list molecular-dynamics kernel."""
+
+    name = "water-sp"
+    paper_size = "512 molecules"
+
+    def __init__(self, cell_rows: int = 96, cells_per_row: int = 8,
+                 timesteps: int = 2, work_per_cell: int = 600):
+        self.cell_rows = cell_rows
+        self.cells_per_row = cells_per_row
+        self.timesteps = timesteps
+        self.work_per_cell = work_per_cell
+        self.cells = None     # per-cell molecule data, one line per cell
+        self.forces = None
+
+    def allocate(self, allocator: SharedAllocator, n_tasks: int,
+                 task_home: Callable[[int], int]) -> None:
+        shape = (self.cell_rows, self.cells_per_row * ELEMS_PER_LINE)
+        self.cells = allocator.alloc("watersp.cells", shape)
+        self.forces = allocator.alloc("watersp.forces", shape)
+        for task_id in range(n_tasks):
+            start, stop = block_range(self.cell_rows, n_tasks, task_id)
+            node = task_home(task_id)
+            place_rows(allocator, self.cells, start, stop, node)
+            place_rows(allocator, self.forces, start, stop, node)
+
+    # ------------------------------------------------------------------
+    def _cell_addr(self, array, row: int, cell: int) -> int:
+        return array.addr(row, cell * ELEMS_PER_LINE)
+
+    def program(self, ctx: TaskContext) -> Iterator:
+        start, stop = block_range(self.cell_rows, ctx.n_tasks, ctx.task_id)
+        for _step in range(self.timesteps):
+            # Predictor over owned cells (private).
+            for row in range(start, stop):
+                for cell in range(self.cells_per_row):
+                    yield op.Load(self._cell_addr(self.cells, row, cell))
+                    yield op.Compute(self.work_per_cell // 4)
+                    yield op.Store(self._cell_addr(self.cells, row, cell))
+            yield op.Barrier("watersp.predict")
+            # Force phase: own rows plus the neighbour boundary rows.
+            for row in range(start, stop):
+                for cell in range(self.cells_per_row):
+                    if row - 1 >= 0:
+                        yield op.Load(self._cell_addr(self.cells,
+                                                      row - 1, cell))
+                    if row + 1 < self.cell_rows:
+                        yield op.Load(self._cell_addr(self.cells,
+                                                      row + 1, cell))
+                    yield op.Load(self._cell_addr(self.cells, row, cell))
+                    yield op.Compute(self.work_per_cell)
+                    yield op.Load(self._cell_addr(self.forces, row, cell))
+                    yield op.Store(self._cell_addr(self.forces, row, cell))
+            yield op.Barrier("watersp.force")
+            # Corrector over owned cells (private).
+            for row in range(start, stop):
+                for cell in range(self.cells_per_row):
+                    yield op.Load(self._cell_addr(self.forces, row, cell))
+                    yield op.Compute(self.work_per_cell // 4)
+                    yield op.Store(self._cell_addr(self.cells, row, cell))
+            yield op.Barrier("watersp.correct")

@@ -1,0 +1,42 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.machine.system import System
+from repro.sim import Engine, Process
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+def tiny_config(n_cmps: int = 2, **overrides) -> MachineConfig:
+    """A small machine for protocol-level tests: 2 nodes, small caches."""
+    params = dict(n_cmps=n_cmps, l1_size=1024, l2_size=8192,
+                  l2_assoc=2, l1_assoc=2)
+    params.update(overrides)
+    return MachineConfig(**params)
+
+
+@pytest.fixture
+def tiny_system():
+    return System(tiny_config())
+
+
+def run_process(engine: Engine, gen, until=None):
+    """Spawn a process and run the engine to completion; returns the
+    process (check .result / .done)."""
+    process = Process(engine, gen, name="test-proc")
+    engine.run(until=until)
+    return process
+
+
+def drive(system: System, gen):
+    """Run one generator as a process on a system's engine."""
+    process = Process(system.engine, gen, name="test-driver")
+    system.engine.run()
+    return process

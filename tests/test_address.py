@@ -1,0 +1,137 @@
+"""Unit tests for the shared address space and allocator."""
+
+import pytest
+
+from repro.memory.address import AddressSpace, SharedAllocator, SharedArray
+
+
+@pytest.fixture
+def space():
+    return AddressSpace(n_nodes=4, line_size=64, page_size=4096)
+
+
+@pytest.fixture
+def allocator(space):
+    return SharedAllocator(space)
+
+
+# ----------------------------------------------------------------------
+# AddressSpace
+# ----------------------------------------------------------------------
+def test_line_and_page_mapping(space):
+    assert space.line_of(0) == 0
+    assert space.line_of(63) == 0
+    assert space.line_of(64) == 1
+    assert space.page_of(4095) == 0
+    assert space.page_of(4096) == 1
+
+
+def test_page_of_line_consistent(space):
+    addr = 123456
+    assert space.page_of_line(space.line_of(addr)) == space.page_of(addr)
+
+
+def test_home_round_robin_by_page(space):
+    homes = {space.home_of_line(space.line_of(page * 4096))
+             for page in range(8)}
+    assert homes == {0, 1, 2, 3}
+
+
+def test_place_page_overrides_home(space):
+    line = space.line_of(3 * 4096)
+    default_home = space.home_of_line(line)
+    new_home = (default_home + 1) % 4
+    space.place_page(3, new_home)
+    assert space.home_of_line(line) == new_home
+
+
+def test_place_page_validates_node(space):
+    with pytest.raises(ValueError):
+        space.place_page(0, 99)
+
+
+def test_lines_in_range(space):
+    lines = list(space.lines_in_range(0, 200))
+    assert lines == [0, 1, 2, 3]
+
+
+def test_geometry_validation():
+    with pytest.raises(ValueError):
+        AddressSpace(n_nodes=0)
+    with pytest.raises(ValueError):
+        AddressSpace(n_nodes=2, line_size=48)
+    with pytest.raises(ValueError):
+        AddressSpace(n_nodes=2, line_size=64, page_size=96)
+
+
+# ----------------------------------------------------------------------
+# SharedArray
+# ----------------------------------------------------------------------
+def test_array_row_major_addressing():
+    array = SharedArray("a", base=0x1000, shape=(4, 8), elem_size=8)
+    assert array.addr(0, 0) == 0x1000
+    assert array.addr(0, 1) == 0x1008
+    assert array.addr(1, 0) == 0x1000 + 8 * 8
+    assert array.addr(3, 7) == 0x1000 + (3 * 8 + 7) * 8
+
+
+def test_array_bounds_checked():
+    array = SharedArray("a", base=0, shape=(4, 8), elem_size=8)
+    with pytest.raises(IndexError):
+        array.addr(4, 0)
+    with pytest.raises(IndexError):
+        array.addr(0, 8)
+    with pytest.raises(IndexError):
+        array.addr(0)  # wrong rank
+
+
+def test_array_flat_addressing():
+    array = SharedArray("a", base=0x100, shape=(2, 4), elem_size=8)
+    assert array.addr_flat(5) == array.addr(1, 1)
+    with pytest.raises(IndexError):
+        array.addr_flat(8)
+
+
+def test_array_size_properties():
+    array = SharedArray("a", base=0, shape=(3, 5), elem_size=16)
+    assert array.size == 15
+    assert array.nbytes == 240
+
+
+# ----------------------------------------------------------------------
+# SharedAllocator
+# ----------------------------------------------------------------------
+def test_allocations_are_page_aligned_and_disjoint(allocator):
+    a = allocator.alloc("a", (100,))
+    b = allocator.alloc("b", (100,))
+    assert a.base % 4096 == 0
+    assert b.base % 4096 == 0
+    assert b.base >= a.base + a.nbytes
+
+
+def test_alloc_on_homes_all_pages(allocator, space):
+    array = allocator.alloc_on("big", (2000,), node=2)  # 16000 B, 4 pages
+    for line in space.lines_in_range(array.base, array.nbytes):
+        assert space.home_of_line(line) == 2
+
+
+def test_duplicate_name_rejected(allocator):
+    allocator.alloc("x", (10,))
+    with pytest.raises(ValueError):
+        allocator.alloc("x", (10,))
+
+
+def test_invalid_shape_rejected(allocator):
+    with pytest.raises(ValueError):
+        allocator.alloc("bad", ())
+    with pytest.raises(ValueError):
+        allocator.alloc("bad2", (0,))
+    with pytest.raises(ValueError):
+        allocator.alloc("bad3", (4,), elem_size=0)
+
+
+def test_get_and_listing(allocator):
+    a = allocator.alloc("a", (10,))
+    assert allocator.get("a") is a
+    assert allocator.arrays == [a]
+    assert allocator.total_bytes == a.nbytes

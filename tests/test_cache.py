@@ -1,0 +1,137 @@
+"""Unit tests for the set-associative cache model."""
+
+import pytest
+
+from repro.memory.cache import Cache, CacheLine, INVALID, MODIFIED, SHARED
+
+
+def make_cache(size=1024, assoc=2, line_size=64, **kw):
+    return Cache(size, assoc, line_size, **kw)
+
+
+def test_geometry():
+    cache = make_cache()
+    assert cache.n_sets == 8
+
+
+def test_geometry_validation():
+    with pytest.raises(ValueError):
+        Cache(1000, 2, 64)  # not a multiple
+    with pytest.raises(ValueError):
+        Cache(64 * 2 * 3, 2, 64)  # 3 sets: not a power of two
+
+
+def test_miss_then_hit():
+    cache = make_cache()
+    assert cache.lookup(5) is None
+    cache.insert(5, SHARED)
+    line = cache.lookup(5)
+    assert line is not None and line.state == SHARED
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_probe_does_not_touch_stats_or_lru():
+    cache = make_cache()
+    cache.insert(5, SHARED)
+    before = (cache.hits, cache.misses)
+    assert cache.probe(5) is not None
+    assert cache.probe(6) is None
+    assert (cache.hits, cache.misses) == before
+
+
+def test_lru_eviction_order():
+    cache = make_cache()  # 8 sets, 2-way
+    evicted = []
+    cache.on_evict = evicted.append
+    # lines 0, 8, 16 all map to set 0
+    cache.insert(0, SHARED)
+    cache.insert(8, SHARED)
+    cache.lookup(0)          # touch 0: 8 becomes LRU
+    cache.insert(16, SHARED)
+    assert [line.line_addr for line in evicted] == [8]
+    assert cache.probe(0) is not None
+    assert cache.probe(16) is not None
+
+
+def test_insert_existing_line_resets_fill_flags():
+    cache = make_cache()
+    line = cache.insert(3, SHARED)
+    line.transparent = True
+    line.si_hint = True
+    line.written_in_cs = True
+    line.used_by_r = True
+    line2 = cache.insert(3, MODIFIED)
+    assert line2 is line
+    assert line2.state == MODIFIED
+    assert not line2.transparent
+    assert not line2.si_hint
+    assert not line2.written_in_cs
+    assert not line2.used_by_r
+
+
+def test_insert_rejects_invalid_state():
+    cache = make_cache()
+    with pytest.raises(ValueError):
+        cache.insert(0, INVALID)
+
+
+def test_invalidate_removes_and_counts():
+    cache = make_cache()
+    cache.insert(7, MODIFIED)
+    removed = cache.invalidate(7)
+    assert removed.state == MODIFIED
+    assert cache.probe(7) is None
+    assert cache.invalidations_received == 1
+    assert cache.invalidate(7) is None  # second time: nothing
+
+
+def test_downgrade_only_affects_modified():
+    cache = make_cache()
+    cache.insert(1, MODIFIED)
+    cache.probe(1).written_in_cs = True
+    line = cache.downgrade(1)
+    assert line.state == SHARED
+    assert not line.written_in_cs
+    # downgrading a shared line is a no-op
+    assert cache.downgrade(1).state == SHARED
+    assert cache.downgrade(99) is None
+
+
+def test_resident_and_si_hint_listing():
+    cache = make_cache()
+    cache.insert(1, MODIFIED)
+    cache.insert(2, SHARED)
+    cache.probe(1).si_hint = True
+    assert {l.line_addr for l in cache.resident_lines()} == {1, 2}
+    assert [l.line_addr for l in cache.lines_with_si_hint()] == [1]
+
+
+def test_occupancy_and_hit_rate():
+    cache = make_cache()
+    assert cache.hit_rate() == 0.0
+    cache.insert(1, SHARED)
+    cache.lookup(1)
+    cache.lookup(2)
+    assert cache.occupancy == 1
+    assert cache.hit_rate() == 0.5
+
+
+def test_eviction_callback_sees_flags():
+    seen = {}
+
+    def on_evict(victim: CacheLine):
+        seen["transparent"] = victim.transparent
+
+    cache = Cache(128, 1, 64, on_evict=on_evict)  # 2 sets, direct-mapped
+    line = cache.insert(0, SHARED)
+    line.transparent = True
+    cache.insert(2, SHARED)  # same set (even lines), evicts 0
+    assert seen == {"transparent": True}
+
+
+def test_sets_are_independent():
+    cache = make_cache()
+    for line_addr in range(16):  # exactly fills 8 sets x 2 ways
+        cache.insert(line_addr, SHARED)
+    assert cache.occupancy == 16
+    assert cache.evictions == 0

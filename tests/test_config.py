@@ -1,0 +1,61 @@
+"""Tests for machine configuration."""
+
+import pytest
+
+from repro.config import MachineConfig, TABLE1, scaled_config, water_config
+
+
+def test_table1_defaults():
+    config = TABLE1
+    assert config.bus_time == 30
+    assert config.pi_local_dc_time == 60
+    assert config.pi_remote_dc_time == 10
+    assert config.ni_remote_dc_time == 10
+    assert config.ni_local_dc_time == 60
+    assert config.net_time == 50
+    assert config.mem_time == 50
+    assert config.l1_size == 32 * 1024
+    assert config.l2_size == 1024 * 1024
+
+
+def test_paper_minimum_latencies():
+    assert TABLE1.local_miss_cycles == 170
+    assert TABLE1.remote_miss_cycles == 290
+
+
+def test_water_config_uses_small_l2():
+    config = water_config(n_cmps=8)
+    assert config.l2_size == 128 * 1024
+    assert config.n_cmps == 8
+
+
+def test_scaled_config_shrinks_caches_only():
+    config = scaled_config(4)
+    assert config.l1_size == 4 * 1024
+    assert config.l2_size == 64 * 1024
+    assert config.local_miss_cycles == 170
+    assert config.remote_miss_cycles == 290
+
+
+def test_scaled_config_accepts_overrides():
+    config = scaled_config(4, mem_time=99)
+    assert config.mem_time == 99
+
+
+def test_with_overrides_is_nondestructive():
+    base = MachineConfig(n_cmps=4)
+    derived = base.with_overrides(n_cmps=8, net_time=10)
+    assert base.n_cmps == 4
+    assert derived.n_cmps == 8
+    assert derived.net_time == 10
+
+
+def test_validation_rules():
+    with pytest.raises(ValueError):
+        MachineConfig(n_cmps=0)
+    with pytest.raises(ValueError):
+        MachineConfig(procs_per_cmp=4)
+    with pytest.raises(ValueError):
+        MachineConfig(line_size=48)
+    with pytest.raises(ValueError):
+        MachineConfig(page_size=3000)

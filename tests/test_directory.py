@@ -1,0 +1,132 @@
+"""Unit tests for directory entries and the per-line guard."""
+
+import pytest
+
+from repro.memory.directory import (EXCLUSIVE, SHARED, UNCACHED,
+                                    DirectoryEntry, DirectoryState)
+from repro.sim import Engine, Process, Timeout
+
+
+# ----------------------------------------------------------------------
+# DirectoryEntry transitions
+# ----------------------------------------------------------------------
+def test_entry_starts_uncached():
+    entry = DirectoryEntry()
+    assert entry.state == UNCACHED
+    assert entry.sharers == set()
+    assert entry.owner is None
+
+
+def test_add_sharers():
+    entry = DirectoryEntry()
+    entry.add_sharer(1)
+    entry.add_sharer(3)
+    assert entry.state == SHARED
+    assert entry.sharers == {1, 3}
+
+
+def test_add_sharer_to_exclusive_rejected():
+    entry = DirectoryEntry()
+    entry.set_exclusive(0)
+    with pytest.raises(RuntimeError):
+        entry.add_sharer(1)
+
+
+def test_set_exclusive_clears_sharers():
+    entry = DirectoryEntry()
+    entry.add_sharer(1)
+    entry.set_exclusive(2)
+    assert entry.state == EXCLUSIVE
+    assert entry.owner == 2
+    assert entry.sharers == set()
+
+
+def test_downgrade_owner_to_sharer():
+    entry = DirectoryEntry()
+    entry.set_exclusive(2)
+    entry.downgrade_owner_to_sharer()
+    assert entry.state == SHARED
+    assert entry.sharers == {2}
+    assert entry.owner is None
+
+
+def test_downgrade_requires_exclusive():
+    entry = DirectoryEntry()
+    with pytest.raises(RuntimeError):
+        entry.downgrade_owner_to_sharer()
+
+
+def test_remove_sharer_transitions_to_uncached():
+    entry = DirectoryEntry()
+    entry.add_sharer(1)
+    entry.remove_sharer(1)
+    assert entry.state == UNCACHED
+    entry.remove_sharer(9)  # removing a non-sharer is harmless
+
+
+def test_is_cached_by():
+    entry = DirectoryEntry()
+    entry.add_sharer(1)
+    assert entry.is_cached_by(1)
+    assert not entry.is_cached_by(2)
+    entry.clear()
+    entry.set_exclusive(4)
+    assert entry.is_cached_by(4)
+
+
+# ----------------------------------------------------------------------
+# DirectoryState
+# ----------------------------------------------------------------------
+def test_entries_created_lazily(engine):
+    state = DirectoryState(engine)
+    assert state.peek(10) is None
+    entry = state.entry(10)
+    assert state.peek(10) is entry
+
+
+def test_future_sharer_bookkeeping(engine):
+    state = DirectoryState(engine)
+    state.add_future_sharer(5, 1)
+    state.add_future_sharer(5, 2)
+    assert state.future_sharers_other_than(5, 1) == {2}
+    state.reset_future_sharer(5, 2)
+    assert state.future_sharers_other_than(5, 1) == set()
+    # resetting on an unknown line is harmless
+    state.reset_future_sharer(99, 0)
+    assert state.future_sharers_other_than(99, 0) == set()
+
+
+def test_guard_serializes_critical_sections(engine):
+    state = DirectoryState(engine)
+    trace = []
+
+    def transaction(tag, hold):
+        guard = state.guard(7)
+        yield guard.acquire()
+        trace.append(("enter", tag, engine.now))
+        yield Timeout(hold)
+        trace.append(("exit", tag, engine.now))
+        guard.release()
+
+    Process(engine, transaction("a", 30))
+    Process(engine, transaction("b", 10))
+    engine.run()
+    assert trace == [("enter", "a", 0), ("exit", "a", 30),
+                     ("enter", "b", 30), ("exit", "b", 40)]
+
+
+def test_guards_are_per_line(engine):
+    state = DirectoryState(engine)
+    stamps = []
+
+    def transaction(line):
+        guard = state.guard(line)
+        yield guard.acquire()
+        yield Timeout(10)
+        stamps.append(engine.now)
+        guard.release()
+
+    Process(engine, transaction(1))
+    Process(engine, transaction(2))
+    engine.run()
+    assert stamps == [10, 10]  # no cross-line serialization

@@ -1,0 +1,109 @@
+"""Tests for the mode driver and RunResult invariants."""
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.experiments.driver import (MODES, run_mode, sequential_baseline)
+from repro.slipstream.arsync import G0, G1, L0, L1
+from repro.workloads.sor import SOR
+
+
+def small_sor():
+    return SOR(rows=32, cols=32, iterations=2)
+
+
+def cfg(n=2):
+    return MachineConfig(n_cmps=n, l1_size=2048, l2_size=16384)
+
+
+@pytest.mark.parametrize("mode", ["sequential", "single", "double",
+                                  "slipstream"])
+def test_all_modes_complete(mode):
+    result = run_mode(small_sor(), cfg(), mode)
+    assert result.exec_cycles > 0
+    assert result.mode == mode
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ValueError):
+        run_mode(small_sor(), cfg(), "turbo")
+
+
+def test_sequential_forces_single_node():
+    result = run_mode(small_sor(), cfg(4), "sequential")
+    assert result.n_cmps == 1
+    assert len(result.task_breakdowns) == 1
+
+
+def test_task_counts_per_mode():
+    assert len(run_mode(small_sor(), cfg(2), "single").task_breakdowns) == 2
+    assert len(run_mode(small_sor(), cfg(2), "double").task_breakdowns) == 4
+    slip = run_mode(small_sor(), cfg(2), "slipstream")
+    assert len(slip.task_breakdowns) == 2
+    assert len(slip.astream_breakdowns) == 2
+
+
+def test_runs_are_deterministic():
+    a = run_mode(small_sor(), cfg(), "slipstream", policy=L1)
+    b = run_mode(small_sor(), cfg(), "slipstream", policy=L1)
+    assert a.exec_cycles == b.exec_cycles
+    assert a.request_classes == b.request_classes
+
+
+def test_slipstream_collects_classification():
+    result = run_mode(small_sor(), cfg(), "slipstream")
+    assert result.request_classes is not None
+    total = sum(result.read_breakdown.values())
+    assert total == pytest.approx(1.0) or total == 0.0
+
+
+def test_single_mode_has_no_classification():
+    result = run_mode(small_sor(), cfg(), "single")
+    assert result.request_classes is None
+
+
+def test_si_flag_implies_transparent():
+    result = run_mode(small_sor(), cfg(), "slipstream", si=True)
+    assert result.si and result.transparent
+
+
+def test_transparent_without_si_sends_no_hints():
+    result = run_mode(small_sor(), cfg(), "slipstream", transparent=True)
+    assert result.transparent and not result.si
+    assert result.fabric_stats["si_hints_sent"] == 0
+
+
+def test_fabric_stats_populated():
+    result = run_mode(small_sor(), cfg(), "single")
+    assert result.fabric_stats["transactions"] > 0
+    assert result.fabric_stats["network_messages"] > 0
+
+
+def test_exec_time_covers_all_tasks():
+    result = run_mode(small_sor(), cfg(), "double")
+    for breakdown in result.task_breakdowns:
+        assert breakdown.total <= result.exec_cycles
+
+
+def test_sequential_baseline_helper():
+    result = sequential_baseline(small_sor(), MachineConfig(
+        n_cmps=4, l1_size=2048, l2_size=16384))
+    assert result.mode == "sequential"
+    assert result.n_cmps == 1
+
+
+def test_label_rendering():
+    result = run_mode(small_sor(), cfg(), "slipstream", policy=G0, si=True)
+    assert "G0" in result.label()
+    assert "+SI" in result.label()
+
+
+def test_policies_change_behaviour():
+    """All four policies run and produce (generally) different timings."""
+    times = {p.name: run_mode(small_sor(), cfg(), "slipstream",
+                              policy=p).exec_cycles
+             for p in (L1, L0, G1, G0)}
+    assert all(t > 0 for t in times.values())
+    # zero-token global is the tightest: it cannot beat one-token local
+    # on A-stream freedom, so both must at least differ or be equal
+    assert len(times) == 4

@@ -1,0 +1,122 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import DeadlockError, Engine, Process, Timeout
+
+
+def test_schedule_runs_in_time_order(engine):
+    order = []
+    engine.schedule(30, lambda: order.append("c"))
+    engine.schedule(10, lambda: order.append("a"))
+    engine.schedule(20, lambda: order.append("b"))
+    engine.run()
+    assert order == ["a", "b", "c"]
+    assert engine.now == 30
+
+
+def test_same_cycle_callbacks_run_fifo(engine):
+    order = []
+    for tag in "abcdef":
+        engine.schedule(5, lambda t=tag: order.append(t))
+    engine.run()
+    assert order == list("abcdef")
+
+
+def test_zero_delay_runs_later_same_cycle(engine):
+    order = []
+
+    def outer():
+        order.append("outer")
+        engine.schedule(0, lambda: order.append("inner"))
+
+    engine.schedule(1, outer)
+    engine.run()
+    assert order == ["outer", "inner"]
+    assert engine.now == 1
+
+
+def test_negative_delay_rejected(engine):
+    with pytest.raises(ValueError):
+        engine.schedule(-1, lambda: None)
+
+
+def test_schedule_at_absolute_time(engine):
+    seen = []
+    engine.schedule_at(42, lambda: seen.append(engine.now))
+    engine.run()
+    assert seen == [42]
+
+
+def test_schedule_at_past_rejected(engine):
+    engine.schedule(10, lambda: None)
+    engine.run()
+    with pytest.raises(ValueError):
+        engine.schedule_at(5, lambda: None)
+
+
+def test_run_until_stops_clock(engine):
+    fired = []
+    engine.schedule(100, lambda: fired.append(1))
+    engine.run(until=50)
+    assert not fired
+    assert engine.now == 50
+    engine.run()
+    assert fired == [1]
+
+
+def test_step_returns_false_when_empty(engine):
+    assert engine.step() is False
+    engine.schedule(1, lambda: None)
+    assert engine.step() is True
+    assert engine.step() is False
+
+
+def test_pending_events_counts_heap(engine):
+    engine.schedule(1, lambda: None)
+    engine.schedule(2, lambda: None)
+    assert engine.pending_events() == 2
+
+
+def test_deadlock_detection_names_blocked_process(engine):
+    from repro.sim import SimEvent
+
+    event = SimEvent(engine)
+
+    def stuck():
+        yield event
+
+    Process(engine, stuck(), name="stuck-proc")
+    with pytest.raises(DeadlockError) as exc:
+        engine.run()
+    assert "stuck-proc" in str(exc.value)
+
+
+def test_deadlock_check_can_be_disabled(engine):
+    from repro.sim import SimEvent
+
+    event = SimEvent(engine)
+
+    def stuck():
+        yield event
+
+    Process(engine, stuck())
+    engine.run(check_deadlock=False)  # no exception
+
+
+def test_determinism_across_identical_runs():
+    def trace_run():
+        engine = Engine()
+        trace = []
+
+        def worker(tag, delay):
+            for _ in range(3):
+                yield Timeout(delay)
+                trace.append((engine.now, tag))
+
+        Process(engine, worker("x", 3))
+        Process(engine, worker("y", 5))
+        engine.run()
+        return trace
+
+    assert trace_run() == trace_run()

@@ -1,0 +1,123 @@
+"""Tests for explicit A->R access-pattern forwarding (Section 6 extension)."""
+
+import pytest
+
+from repro.config import MachineConfig, scaled_config
+from repro.experiments.driver import run_mode
+from repro.slipstream.arsync import G1
+from repro.slipstream.forwarding import PatternLog
+from repro.workloads import make
+from repro.workloads.sor import SOR
+
+
+def cfg():
+    return MachineConfig(n_cmps=2, l1_size=2048, l2_size=16384)
+
+
+# ----------------------------------------------------------------------
+# PatternLog
+# ----------------------------------------------------------------------
+def test_log_records_per_session():
+    log = PatternLog()
+    log.record(0, 10)
+    log.record(0, 11)
+    log.record(1, 20)
+    assert log.pattern(0) == [10, 11]
+    assert log.pattern(1) == [20]
+    assert log.pattern(2) == []
+
+
+def test_log_collapses_consecutive_duplicates():
+    log = PatternLog()
+    for line in (5, 5, 5, 6, 5):
+        log.record(0, line)
+    assert log.pattern(0) == [5, 6, 5]
+
+
+def test_log_bounded_per_session():
+    log = PatternLog(max_lines_per_session=3)
+    for line in range(10):
+        log.record(0, line)
+    assert len(log.pattern(0)) == 3
+    assert log.dropped == 7
+
+
+def test_log_discard_before():
+    log = PatternLog()
+    for session in range(4):
+        log.record(session, session)
+    log.discard_before(2)
+    assert log.pattern(0) == []
+    assert log.pattern(1) == []
+    assert log.pattern(2) == [2]
+    assert log.pattern(3) == [3]
+
+
+# ----------------------------------------------------------------------
+# End-to-end behaviour
+# ----------------------------------------------------------------------
+def test_forwarding_records_and_replays():
+    result = run_mode(SOR(rows=32, cols=32, iterations=2), cfg(),
+                      "slipstream", policy=G1, forwarding=True)
+    assert result.pattern_lines_recorded > 0
+    # residents are skipped, so issued is typically far below recorded
+    assert 0 <= result.forwarded_prefetches <= result.pattern_lines_recorded
+
+
+def test_forwarding_off_by_default():
+    result = run_mode(SOR(rows=32, cols=32, iterations=2), cfg(),
+                      "slipstream", policy=G1)
+    assert result.pattern_lines_recorded == 0
+    assert result.forwarded_prefetches == 0
+
+
+def test_forwarding_recovers_transparent_copy_loss():
+    """With SI enabled the A-stream's cross-session fetches are transparent
+    (useless to the R-stream); forwarding re-fetches them as normal copies,
+    so it must not be slower and usually wins on stencil kernels."""
+    config = scaled_config(8)
+    base = run_mode(make("mg"), config, "slipstream", policy=G1,
+                    si=True).exec_cycles
+    fwd = run_mode(make("mg"), config, "slipstream", policy=G1, si=True,
+                   forwarding=True).exec_cycles
+    assert fwd <= base * 1.02
+
+
+def test_forwarding_deterministic():
+    runs = [run_mode(SOR(rows=32, cols=32, iterations=2), cfg(),
+                     "slipstream", policy=G1, forwarding=True).exec_cycles
+            for _ in range(2)]
+    assert runs[0] == runs[1]
+
+
+def test_read_prefetch_drops_when_resident():
+    from repro.machine.system import System
+    from tests.conftest import tiny_config
+    from tests.test_protocol import local_line
+    from repro.sim import Process
+
+    system = System(tiny_config())
+    ctrl = system.nodes[0].ctrl
+    line = local_line(system, 0)
+
+    def load():
+        yield from ctrl.load(0, "R", line)
+
+    Process(system.engine, load())
+    system.engine.run()
+    dropped_before = ctrl.prefetches_dropped
+    ctrl.read_prefetch(line)
+    assert ctrl.prefetches_dropped == dropped_before + 1
+
+
+def test_read_prefetch_fills_l2():
+    from repro.machine.system import System
+    from tests.conftest import tiny_config
+    from tests.test_protocol import local_line
+
+    system = System(tiny_config())
+    ctrl = system.nodes[0].ctrl
+    line = local_line(system, 1)
+    ctrl.read_prefetch(line)
+    system.engine.run()
+    assert ctrl.l2.probe(line) is not None

@@ -1,0 +1,313 @@
+"""Tests for the node-side L2 controller: request paths, MSHR merging,
+transparent visibility, prefetch, eviction, and the SI drain."""
+
+import pytest
+
+from repro.machine.system import System
+from repro.memory.cache import MODIFIED, SHARED
+from repro.memory.directory import EXCLUSIVE, UNCACHED
+from repro.sim import Process, Timeout
+from tests.conftest import tiny_config
+from tests.test_protocol import local_line
+
+
+def make_system(**kw):
+    return System(tiny_config(**kw))
+
+
+def run_all(system, *gens):
+    processes = [Process(system.engine, g, name=f"g{i}")
+                 for i, g in enumerate(gens)]
+    system.engine.run()
+    return processes
+
+
+def timed(system, gen, out, key):
+    start = system.engine.now
+    yield from gen
+    out[key] = system.engine.now - start
+
+
+# ----------------------------------------------------------------------
+# Load path
+# ----------------------------------------------------------------------
+def test_load_fills_l2_and_l1():
+    system = make_system()
+    ctrl = system.nodes[0].ctrl
+    line = local_line(system, 1)
+    run_all(system, ctrl.load(0, "R", line))
+    assert ctrl.l2.probe(line).state == SHARED
+    assert ctrl.l1s[0].probe(line) is not None
+    assert ctrl.l1s[1].probe(line) is None
+
+
+def test_second_load_hits_l2():
+    system = make_system()
+    ctrl = system.nodes[0].ctrl
+    line = local_line(system, 1)
+    run_all(system, ctrl.load(0, "R", line))
+    out = {}
+    run_all(system, timed(system, ctrl.load(1, "R", line), out, "t"))
+    # L2 hit: port service only, far below a miss
+    assert out["t"] <= 2 * system.config.l2_hit_cycles
+
+
+def test_mshr_merges_concurrent_loads():
+    system = make_system()
+    ctrl = system.nodes[0].ctrl
+    line = local_line(system, 1)
+    out = {}
+    run_all(system,
+            timed(system, ctrl.load(0, "R", line), out, "first"),
+            timed(system, ctrl.load(1, "R", line), out, "second"))
+    # one transaction total: the second request merged
+    assert system.fabric.transactions == 1
+    assert out["second"] <= out["first"] + 2 * system.config.l2_hit_cycles
+
+
+def test_merge_of_r_into_a_pending_classifies_late():
+    system = make_system()
+    ctrl = system.nodes[0].ctrl
+    line = local_line(system, 1)
+    run_all(system,
+            ctrl.load(1, "A", line),
+            ctrl.load(0, "R", line))
+    assert system.classifier.counts["a_late"]["read"] == 1
+    # the fill must not later be double-counted as A-Only
+    ctrl.apply_invalidate(line)
+    assert system.classifier.counts["a_only"]["read"] == 0
+
+
+def test_a_fetch_used_by_r_is_timely():
+    system = make_system()
+    ctrl = system.nodes[0].ctrl
+    line = local_line(system, 1)
+    run_all(system, ctrl.load(1, "A", line))
+    run_all(system, ctrl.load(0, "R", line))
+    assert system.classifier.counts["a_timely"]["read"] == 1
+
+
+def test_a_fetch_invalidated_unused_is_a_only():
+    system = make_system()
+    ctrl = system.nodes[0].ctrl
+    line = local_line(system, 1)
+    run_all(system, ctrl.load(1, "A", line))
+    ctrl.apply_invalidate(line)
+    assert system.classifier.counts["a_only"]["read"] == 1
+
+
+# ----------------------------------------------------------------------
+# Transparent visibility
+# ----------------------------------------------------------------------
+def setup_transparent_copy(system, node=0, owner=1):
+    line = local_line(system, owner)
+    owner_ctrl = system.nodes[owner].ctrl
+    run_all(system, owner_ctrl.store(0, "R", line))
+    ctrl = system.nodes[node].ctrl
+    run_all(system, ctrl.load(1, "A", line, transparent=True))
+    return line, ctrl
+
+
+def test_transparent_copy_visible_to_a_only():
+    system = make_system()
+    line, ctrl = setup_transparent_copy(system)
+    assert ctrl.l2.probe(line).transparent
+    # A hits...
+    out = {}
+    run_all(system, timed(system, ctrl.load(1, "A", line), out, "a"))
+    assert out["a"] <= 2 * system.config.l2_hit_cycles
+    assert system.fabric.transactions == 2  # no new transaction
+
+    # ...R misses and refetches (replacing the transparent copy)
+    run_all(system, ctrl.load(0, "R", line))
+    assert system.fabric.transactions == 3
+    assert not ctrl.l2.probe(line).transparent
+
+
+def test_transparent_fill_does_not_use_r_l1():
+    system = make_system()
+    line, ctrl = setup_transparent_copy(system)
+    # the A processor's L1 has the line, the R processor's does not
+    assert ctrl.l1s[1].probe(line) is not None
+    assert ctrl.l1s[0].probe(line) is None
+
+
+# ----------------------------------------------------------------------
+# Store path
+# ----------------------------------------------------------------------
+def test_store_acquires_ownership():
+    system = make_system()
+    ctrl = system.nodes[0].ctrl
+    line = local_line(system, 1)
+    run_all(system, ctrl.store(0, "R", line))
+    assert ctrl.l2.probe(line).state == MODIFIED
+    entry = system.fabric.directory.peek(line)
+    assert entry.state == EXCLUSIVE and entry.owner == 0
+
+
+def test_store_invalidates_sibling_l1():
+    system = make_system()
+    ctrl = system.nodes[0].ctrl
+    line = local_line(system, 1)
+    run_all(system, ctrl.load(1, "R", line))   # sibling caches it
+    assert ctrl.l1s[1].probe(line) is not None
+    run_all(system, ctrl.store(0, "R", line))
+    assert ctrl.l1s[1].probe(line) is None
+    assert ctrl.l1s[0].probe(line) is not None
+
+
+def test_fast_store_hits_owned_line():
+    system = make_system()
+    ctrl = system.nodes[0].ctrl
+    line = local_line(system, 1)
+    run_all(system, ctrl.store(0, "R", line))
+    assert ctrl.try_fast_store(0, "R", line, in_critical_section=True)
+    assert ctrl.l2.probe(line).written_in_cs
+
+
+def test_fast_store_misses_unowned_line():
+    system = make_system()
+    ctrl = system.nodes[0].ctrl
+    line = local_line(system, 1)
+    assert not ctrl.try_fast_store(0, "R", line, False)
+    run_all(system, ctrl.load(0, "R", line))
+    assert not ctrl.try_fast_store(0, "R", line, False)  # S, needs upgrade
+
+
+def test_store_to_shared_line_upgrades():
+    system = make_system()
+    ctrl = system.nodes[0].ctrl
+    line = local_line(system, 1)
+    run_all(system, ctrl.load(0, "R", line))
+    run_all(system, ctrl.store(0, "R", line))
+    assert ctrl.l2.probe(line).state == MODIFIED
+
+
+def test_store_in_critical_section_flags_line():
+    system = make_system()
+    ctrl = system.nodes[0].ctrl
+    line = local_line(system, 1)
+    run_all(system, ctrl.store(0, "R", line, in_critical_section=True))
+    assert ctrl.l2.probe(line).written_in_cs
+
+
+# ----------------------------------------------------------------------
+# Exclusive prefetch
+# ----------------------------------------------------------------------
+def test_exclusive_prefetch_acquires_ownership_asynchronously():
+    system = make_system()
+    ctrl = system.nodes[0].ctrl
+    line = local_line(system, 1)
+    ctrl.exclusive_prefetch(line)
+    system.engine.run()
+    assert ctrl.l2.probe(line).state == MODIFIED
+    assert ctrl.prefetches_issued == 1
+
+
+def test_exclusive_prefetch_dropped_if_owned():
+    system = make_system()
+    ctrl = system.nodes[0].ctrl
+    line = local_line(system, 1)
+    run_all(system, ctrl.store(0, "R", line))
+    ctrl.exclusive_prefetch(line)
+    system.engine.run()
+    assert ctrl.prefetches_dropped == 1
+
+
+def test_exclusive_prefetch_dropped_if_pending():
+    system = make_system()
+    ctrl = system.nodes[0].ctrl
+    line = local_line(system, 1)
+
+    def racer():
+        yield from ctrl.load(0, "R", line)
+
+    Process(system.engine, racer())
+
+    def prefetcher():
+        yield Timeout(10)  # while the load is still outstanding
+        ctrl.exclusive_prefetch(line)
+
+    Process(system.engine, prefetcher())
+    system.engine.run()
+    assert ctrl.prefetches_dropped == 1
+
+
+# ----------------------------------------------------------------------
+# Eviction
+# ----------------------------------------------------------------------
+def test_dirty_eviction_writes_back():
+    system = make_system(l2_size=256, l2_assoc=1)  # 4 tiny sets
+    ctrl = system.nodes[0].ctrl
+    space = system.space
+    lines_in_set0 = [i * ctrl.l2.n_sets for i in range(2)]
+    run_all(system, ctrl.store(0, "R", lines_in_set0[0]))
+    run_all(system, ctrl.store(0, "R", lines_in_set0[1]))  # evicts first
+    assert ctrl.l2.probe(lines_in_set0[0]) is None
+    assert ctrl.l1s[0].probe(lines_in_set0[0]) is None  # inclusion
+    entry = system.fabric.directory.peek(lines_in_set0[0])
+    assert entry.state == UNCACHED
+    assert system.fabric.writebacks == 1
+
+
+# ----------------------------------------------------------------------
+# Self-invalidation drain
+# ----------------------------------------------------------------------
+def test_si_drain_downgrades_producer_consumer_line():
+    system = make_system()
+    ctrl = system.nodes[0].ctrl
+    line = local_line(system, 1)
+    run_all(system, ctrl.store(0, "R", line))
+    ctrl.apply_si_hint(line)
+    ctrl.start_si_drain()
+    system.engine.run()
+    assert ctrl.si_downgraded == 1
+    assert ctrl.l2.probe(line).state == SHARED
+    entry = system.fabric.directory.peek(line)
+    assert entry.sharers == {0}
+
+
+def test_si_drain_invalidates_migratory_line():
+    system = make_system()
+    ctrl = system.nodes[0].ctrl
+    line = local_line(system, 1)
+    run_all(system, ctrl.store(0, "R", line, in_critical_section=True))
+    ctrl.apply_si_hint(line)
+    ctrl.start_si_drain()
+    system.engine.run()
+    assert ctrl.si_invalidated == 1
+    assert ctrl.l2.probe(line) is None
+    assert system.fabric.directory.peek(line).state == UNCACHED
+
+
+def test_si_hint_on_non_owned_line_is_stale():
+    system = make_system()
+    ctrl = system.nodes[0].ctrl
+    line = local_line(system, 1)
+    ctrl.apply_si_hint(line)
+    assert ctrl.si_stale_hints == 1
+
+
+def test_si_drain_paces_one_line_per_interval():
+    system = make_system()
+    ctrl = system.nodes[0].ctrl
+    lines = []
+    for i in range(3):
+        line = local_line(system, 1) + i
+        run_all(system, ctrl.store(0, "R", line))
+        ctrl.apply_si_hint(line)
+        lines.append(line)
+    start = system.engine.now
+    ctrl.start_si_drain()
+    system.engine.run()
+    assert ctrl.si_downgraded == 3
+    assert system.engine.now - start >= 3 * system.config.si_drain_interval
+
+
+def test_finalize_classification_sweeps_residents():
+    system = make_system()
+    ctrl = system.nodes[0].ctrl
+    line = local_line(system, 1)
+    run_all(system, ctrl.load(1, "A", line))
+    ctrl.finalize_classification()
+    assert system.classifier.counts["a_only"]["read"] == 1

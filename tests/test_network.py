@@ -1,0 +1,111 @@
+"""Unit tests for the interconnect model."""
+
+from repro.memory.network import Network
+from repro.sim import Engine, Process
+from tests.conftest import run_process
+
+
+def make_net(engine, n=4, net_time=50, data_occ=40, ctrl_occ=8):
+    return Network(engine, n, net_time, data_occ, ctrl_occ)
+
+
+def test_transfer_latency_uncontended(engine):
+    net = make_net(engine)
+    stamps = []
+
+    def msg():
+        yield from net.transfer(0, 1, data=True)
+        stamps.append(engine.now)
+
+    run_process(engine, msg())
+    # cut-through ports: zero-contention latency is the transit time only
+    assert stamps == [50]
+
+
+def test_port_occupancy_still_charged(engine):
+    net = make_net(engine)
+
+    def msg():
+        yield from net.transfer(0, 1, data=True)
+
+    run_process(engine, msg())
+    assert net.out_ports[0].busy_cycles == 40
+    assert net.in_ports[1].busy_cycles == 40
+
+
+def test_same_node_transfer_is_free(engine):
+    net = make_net(engine)
+    stamps = []
+
+    def msg():
+        yield from net.transfer(2, 2, data=True)
+        stamps.append(engine.now)
+
+    run_process(engine, msg())
+    assert stamps == [0]
+    assert net.messages == 0  # never entered the network
+
+
+def test_output_port_contention_serializes(engine):
+    net = make_net(engine)
+    stamps = []
+
+    def msg(dst):
+        yield from net.transfer(0, dst, data=True)
+        stamps.append(engine.now)
+
+    Process(engine, msg(1))
+    Process(engine, msg(2))
+    engine.run()
+    # Second message queues 40 cycles at node 0's output port.
+    assert sorted(stamps) == [50, 90]
+
+
+def test_input_port_contention_serializes(engine):
+    net = make_net(engine)
+    stamps = []
+
+    def msg(src):
+        yield from net.transfer(src, 3, data=True)
+        stamps.append(engine.now)
+
+    Process(engine, msg(0))
+    Process(engine, msg(1))
+    engine.run()
+    # Both reach node 3's input port at t=50; one queues 40 cycles.
+    assert sorted(stamps) == [50, 90]
+
+
+def test_message_counters(engine):
+    net = make_net(engine)
+
+    def msgs():
+        yield from net.transfer(0, 1, data=True)
+        yield from net.transfer(1, 0, data=False)
+
+    run_process(engine, msgs())
+    assert net.messages == 2
+    assert net.data_messages == 1
+    assert net.ctrl_messages == 1
+
+
+def test_post_transfer_charges_ports_asynchronously(engine):
+    net = make_net(engine)
+    net.post_transfer(0, 1, data=True)
+    stamps = []
+
+    def msg():
+        yield from net.transfer(0, 2, data=True)
+        stamps.append(engine.now)
+
+    run_process(engine, msg())
+    # queued 40 cycles behind the posted message at node 0's out port
+    assert stamps == [90]
+    assert net.messages == 2
+
+
+def test_post_transfer_same_node_noop(engine):
+    net = make_net(engine)
+    net.post_transfer(1, 1, data=True)
+    assert net.messages == 0
+    engine.run()

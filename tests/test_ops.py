@@ -1,0 +1,52 @@
+"""Tests for the operation vocabulary."""
+
+import pytest
+
+from repro.runtime import ops as op
+
+
+def test_compute_validates_cycles():
+    assert op.Compute(0).cycles == 0
+    with pytest.raises(ValueError):
+        op.Compute(-1)
+
+
+def test_all_ops_are_op_instances():
+    instances = [op.Compute(1), op.Load(0x10), op.Store(0x20),
+                 op.Barrier("b"), op.LockAcquire("l"), op.LockRelease("l"),
+                 op.EventWait("e"), op.EventSet("e"), op.EventClear("e"),
+                 op.Input("k"), op.Output()]
+    assert all(isinstance(o, op.Op) for o in instances)
+
+
+def test_reprs_are_informative():
+    assert "Load" in repr(op.Load(0x40)) and "0x40" in repr(op.Load(0x40))
+    assert "Store" in repr(op.Store(0x80))
+    assert "'b'" in repr(op.Barrier("b"))
+    assert "'l'" in repr(op.LockAcquire("l"))
+    assert "'e'" in repr(op.EventWait("e"))
+    assert "Input" in repr(op.Input("k"))
+    assert "Output" in repr(op.Output(5))
+    assert "Compute(7)" == repr(op.Compute(7))
+    assert "LockRelease" in repr(op.LockRelease("l"))
+    assert "EventSet" in repr(op.EventSet("e"))
+    assert "EventClear" in repr(op.EventClear("e"))
+
+
+def test_ops_use_slots():
+    """Millions of ops are created per run; they must stay lightweight."""
+    for cls, args in ((op.Compute, (1,)), (op.Load, (0,)),
+                      (op.Store, (0,)), (op.Barrier, ("b",))):
+        instance = cls(*args)
+        with pytest.raises(AttributeError):
+            instance.arbitrary_attribute = 1
+
+
+def test_input_defaults():
+    operation = op.Input("key")
+    assert operation.cycles == 100
+    assert op.Output().cycles == 100
+
+
+def test_barrier_default_id():
+    assert op.Barrier().bid == "main"

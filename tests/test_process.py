@@ -1,0 +1,154 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.sim import Engine, Process, SimEvent, Timeout
+from tests.conftest import run_process
+
+
+def test_process_advances_time_with_timeouts(engine):
+    stamps = []
+
+    def worker():
+        yield Timeout(10)
+        stamps.append(engine.now)
+        yield Timeout(5)
+        stamps.append(engine.now)
+
+    run_process(engine, worker())
+    assert stamps == [10, 15]
+
+
+def test_bare_int_yield_is_a_timeout(engine):
+    stamps = []
+
+    def worker():
+        yield 7
+        stamps.append(engine.now)
+
+    run_process(engine, worker())
+    assert stamps == [7]
+
+
+def test_return_value_captured(engine):
+    def worker():
+        yield Timeout(1)
+        return 42
+
+    process = run_process(engine, worker())
+    assert process.done
+    assert process.result == 42
+
+
+def test_join_delivers_result(engine):
+    def child():
+        yield Timeout(10)
+        return "payload"
+
+    def parent():
+        value = yield Process(engine, child())
+        return value
+
+    process = run_process(engine, parent())
+    assert process.result == "payload"
+
+
+def test_join_on_already_finished_process(engine):
+    def empty():
+        return
+        yield  # pragma: no cover
+
+    child = Process(engine, empty())
+    engine.run()
+    assert child.done
+
+    def parent():
+        yield child
+        return engine.now
+
+    process = run_process(engine, parent())
+    assert process.done
+
+
+def test_multiple_joiners_all_resume(engine):
+    def child():
+        yield Timeout(5)
+        return 9
+
+    target = Process(engine, child())
+    results = []
+
+    def joiner():
+        value = yield target
+        results.append(value)
+
+    Process(engine, joiner())
+    Process(engine, joiner())
+    engine.run()
+    assert results == [9, 9]
+
+
+def test_kill_stops_process(engine):
+    progress = []
+
+    def worker():
+        for _ in range(100):
+            yield Timeout(10)
+            progress.append(engine.now)
+
+    process = Process(engine, worker())
+    engine.schedule(35, process.kill)
+    engine.run()
+    assert process.done
+    assert progress == [10, 20, 30]
+
+
+def test_kill_resumes_joiners_with_none(engine):
+    def worker():
+        yield Timeout(1000)
+
+    target = Process(engine, worker())
+    seen = []
+
+    def joiner():
+        value = yield target
+        seen.append(value)
+
+    Process(engine, joiner())
+    engine.schedule(10, target.kill)
+    engine.run()
+    assert seen == [None]
+
+
+def test_killed_process_ignores_pending_resume(engine):
+    event = SimEvent(engine)
+
+    def worker():
+        yield event  # will be killed while waiting
+
+    process = Process(engine, worker())
+    engine.schedule(5, process.kill)
+    engine.schedule(10, lambda: event.trigger("late"))
+    engine.run()  # the late trigger must not crash or revive the process
+    assert process.done
+
+
+def test_exception_in_process_propagates(engine):
+    def worker():
+        yield Timeout(1)
+        raise RuntimeError("boom")
+
+    Process(engine, worker())
+    with pytest.raises(RuntimeError, match="boom"):
+        engine.run()
+
+
+def test_process_repr_shows_state(engine):
+    def worker():
+        yield Timeout(1)
+
+    process = Process(engine, worker(), name="alpha")
+    assert "alpha" in repr(process)
+    assert "live" in repr(process)
+    engine.run()
+    assert "done" in repr(process)

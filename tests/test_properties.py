@@ -1,0 +1,170 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from collections import OrderedDict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.address import AddressSpace, SharedAllocator
+from repro.memory.cache import Cache, MODIFIED, SHARED
+from repro.sim import Engine, Process, SimSemaphore, Timeout
+from repro.stats.classify import CATEGORIES, RequestClassifier
+from repro.workloads.base import block_range
+
+
+# ----------------------------------------------------------------------
+# block_range: a partition for every (total, parts)
+# ----------------------------------------------------------------------
+@given(total=st.integers(0, 2000), parts=st.integers(1, 64))
+def test_block_range_is_a_partition(total, parts):
+    covered = []
+    sizes = []
+    for part in range(parts):
+        start, stop = block_range(total, parts, part)
+        assert 0 <= start <= stop <= total
+        covered.extend(range(start, stop))
+        sizes.append(stop - start)
+    assert covered == list(range(total))
+    # balanced: sizes differ by at most one
+    assert max(sizes) - min(sizes) <= 1
+
+
+# ----------------------------------------------------------------------
+# AddressSpace: line/page geometry
+# ----------------------------------------------------------------------
+@given(addr=st.integers(0, 2 ** 40),
+       line_shift=st.integers(4, 8),
+       nodes=st.integers(1, 64))
+def test_address_mappings_consistent(addr, line_shift, nodes):
+    line_size = 1 << line_shift
+    space = AddressSpace(nodes, line_size=line_size, page_size=4096)
+    line = space.line_of(addr)
+    assert line == addr // line_size
+    assert space.page_of_line(line) == space.page_of(addr)
+    assert 0 <= space.home_of_line(line) < nodes
+
+
+@given(sizes=st.lists(st.integers(1, 5000), min_size=1, max_size=20))
+def test_allocations_never_overlap(sizes):
+    space = AddressSpace(4)
+    allocator = SharedAllocator(space)
+    arrays = [allocator.alloc(f"a{i}", (size,))
+              for i, size in enumerate(sizes)]
+    spans = sorted((a.base, a.base + a.nbytes) for a in arrays)
+    for (lo1, hi1), (lo2, hi2) in zip(spans, spans[1:]):
+        assert hi1 <= lo2
+
+
+# ----------------------------------------------------------------------
+# Cache: capacity and LRU behaviour vs a reference model
+# ----------------------------------------------------------------------
+@given(addresses=st.lists(st.integers(0, 63), min_size=1, max_size=200))
+@settings(max_examples=60)
+def test_cache_never_exceeds_capacity(addresses):
+    cache = Cache(size=8 * 64, assoc=2, line_size=64)  # 4 sets x 2 ways
+    for addr in addresses:
+        cache.insert(addr, SHARED)
+        assert cache.occupancy <= 8
+        for cache_set in cache._sets:
+            assert len(cache_set) <= 2
+
+
+@given(addresses=st.lists(st.integers(0, 31), min_size=1, max_size=200))
+@settings(max_examples=60)
+def test_cache_matches_lru_reference(addresses):
+    """Insert-only workload must match a per-set LRU reference model."""
+    n_sets, assoc = 4, 2
+    cache = Cache(size=n_sets * assoc * 64, assoc=assoc, line_size=64)
+    reference = [OrderedDict() for _ in range(n_sets)]
+    for addr in addresses:
+        cache.insert(addr, SHARED)
+        ref_set = reference[addr % n_sets]
+        if addr in ref_set:
+            ref_set.move_to_end(addr)
+        else:
+            if len(ref_set) == assoc:
+                ref_set.popitem(last=False)
+            ref_set[addr] = True
+    for set_idx in range(n_sets):
+        resident = {line.line_addr for line in cache._sets[set_idx].values()}
+        assert resident == set(reference[set_idx])
+
+
+# ----------------------------------------------------------------------
+# Semaphore: conservation of tokens
+# ----------------------------------------------------------------------
+@given(ops=st.lists(st.sampled_from(["acquire", "release"]), max_size=60),
+       initial=st.integers(0, 5))
+def test_semaphore_token_conservation(ops, initial):
+    engine = Engine()
+    sem = SimSemaphore(engine, initial=initial)
+    acquired = 0
+    released = 0
+    for operation in ops:
+        if operation == "acquire":
+            if sem.try_acquire():
+                acquired += 1
+        else:
+            sem.release()
+            released += 1
+    assert sem.count == initial + released - acquired
+    assert sem.count >= 0
+
+
+# ----------------------------------------------------------------------
+# Engine: time never goes backwards, events fire exactly once
+# ----------------------------------------------------------------------
+@given(delays=st.lists(st.integers(0, 1000), min_size=1, max_size=60))
+def test_engine_time_is_monotonic(delays):
+    engine = Engine()
+    fire_times = []
+    for delay in delays:
+        engine.schedule(delay, lambda: fire_times.append(engine.now))
+    engine.run()
+    assert fire_times == sorted(fire_times)
+    assert len(fire_times) == len(delays)
+    assert engine.now == max(delays)
+
+
+@given(durations=st.lists(st.integers(1, 100), min_size=1, max_size=20))
+def test_processes_finish_at_sum_of_timeouts(durations):
+    engine = Engine()
+
+    def worker(total_holder, duration_list):
+        for duration in duration_list:
+            yield Timeout(duration)
+        total_holder.append(engine.now)
+
+    finish = []
+    Process(engine, worker(finish, durations))
+    engine.run()
+    assert finish == [sum(durations)]
+
+
+# ----------------------------------------------------------------------
+# Classifier: totals always consistent
+# ----------------------------------------------------------------------
+@given(events=st.lists(
+    st.tuples(st.sampled_from(["a_touch", "r_miss"]),
+              st.integers(0, 3),       # node
+              st.integers(0, 10),      # line
+              st.sampled_from(["read", "excl"])),
+    max_size=100))
+def test_classifier_r_misses_all_resolved(events):
+    classifier = RequestClassifier()
+    r_misses = 0
+    for kind, node, line, req in events:
+        if kind == "a_touch":
+            classifier.on_a_touch(node, line)
+        else:
+            classifier.on_r_miss(node, line, req)
+            r_misses += 1
+    classifier.finalize()
+    resolved = sum(classifier.counts[cat][k]
+                   for cat in ("r_timely", "r_late", "r_only")
+                   for k in ("read", "excl"))
+    assert resolved == r_misses
+    for category in CATEGORIES:
+        for req in ("read", "excl"):
+            assert classifier.counts[category][req] >= 0

@@ -1,0 +1,279 @@
+"""Coherence-protocol tests, including the paper's exact miss latencies.
+
+Table 1's stated minimums — 170 cycles for a local clean miss, 290 for a
+remote clean miss — must emerge from the protocol's hop accounting with no
+contention.
+"""
+
+import pytest
+
+from repro.machine.system import System
+from repro.memory.cache import MODIFIED, SHARED
+from repro.memory.directory import EXCLUSIVE, SHARED as DIR_SHARED, UNCACHED
+from repro.sim import Process, Timeout
+from tests.conftest import tiny_config
+
+
+def make_system(n_cmps=4):
+    return System(tiny_config(n_cmps=n_cmps))
+
+
+def local_line(system, node):
+    """A line whose home is ``node``."""
+    space = system.space
+    for page in range(64):
+        line = (page * space.page_size) >> space.line_shift
+        if space.home_of_line(line) == node:
+            return line
+    raise AssertionError("no local line found")
+
+
+def run_fetch(system, node, line, kind, role="R"):
+    """Run one fetch transaction; returns (result, elapsed_cycles)."""
+    out = {}
+
+    def txn():
+        start = system.engine.now
+        result = yield from system.fabric.fetch(node, line, kind, role)
+        out["result"] = result
+        out["elapsed"] = system.engine.now - start
+
+    Process(system.engine, txn())
+    system.engine.run()
+    return out["result"], out["elapsed"]
+
+
+# ----------------------------------------------------------------------
+# Paper latencies
+# ----------------------------------------------------------------------
+def test_local_clean_miss_is_170_cycles():
+    system = make_system()
+    line = local_line(system, node=1)
+    result, elapsed = run_fetch(system, 1, line, "read")
+    assert elapsed == 170
+    assert result.local
+    assert result.state == SHARED
+
+
+def test_remote_clean_miss_is_290_cycles():
+    system = make_system()
+    line = local_line(system, node=2)
+    result, elapsed = run_fetch(system, 0, line, "read")
+    assert elapsed == 290
+    assert not result.local
+    assert result.state == SHARED
+
+
+def test_config_derived_latencies_match():
+    config = tiny_config()
+    assert config.local_miss_cycles == 170
+    assert config.remote_miss_cycles == 290
+
+
+# ----------------------------------------------------------------------
+# Directory state after transactions
+# ----------------------------------------------------------------------
+def test_read_adds_sharer():
+    system = make_system()
+    line = local_line(system, 2)
+    run_fetch(system, 0, line, "read")
+    entry = system.fabric.directory.peek(line)
+    assert entry.state == DIR_SHARED
+    assert entry.sharers == {0}
+
+
+def test_excl_sets_owner_and_invalidates_sharers():
+    system = make_system()
+    line = local_line(system, 2)
+    # two sharers
+    for node in (0, 1):
+        run_fetch(system, node, line, "read")
+        system.nodes[node].ctrl.l2.insert(line, SHARED)
+    result, _ = run_fetch(system, 3, line, "excl")
+    assert result.state == MODIFIED
+    entry = system.fabric.directory.peek(line)
+    assert entry.state == EXCLUSIVE and entry.owner == 3
+    # sharers' copies were invalidated
+    assert system.nodes[0].ctrl.l2.probe(line) is None
+    assert system.nodes[1].ctrl.l2.probe(line) is None
+    assert system.fabric.invalidations_sent == 2
+
+
+def test_read_of_exclusive_line_intervenes_and_downgrades():
+    system = make_system()
+    line = local_line(system, 2)
+    run_fetch(system, 1, line, "excl")
+    system.nodes[1].ctrl.l2.insert(line, MODIFIED)
+    result, elapsed = run_fetch(system, 0, line, "read")
+    assert result.state == SHARED
+    assert elapsed > 290  # dirty remote miss costs more than a clean one
+    entry = system.fabric.directory.peek(line)
+    assert entry.state == DIR_SHARED
+    assert entry.sharers == {0, 1}
+    # the old owner was downgraded in its cache
+    assert system.nodes[1].ctrl.l2.probe(line).state == SHARED
+    assert system.fabric.interventions == 1
+
+
+def test_excl_of_exclusive_line_invalidates_owner():
+    system = make_system()
+    line = local_line(system, 2)
+    run_fetch(system, 1, line, "excl")
+    system.nodes[1].ctrl.l2.insert(line, MODIFIED)
+    run_fetch(system, 0, line, "excl")
+    entry = system.fabric.directory.peek(line)
+    assert entry.state == EXCLUSIVE and entry.owner == 0
+    assert system.nodes[1].ctrl.l2.probe(line) is None
+
+
+def test_upgrade_keeps_requesters_data():
+    system = make_system()
+    line = local_line(system, 2)
+    run_fetch(system, 0, line, "read")
+    result, _ = run_fetch(system, 0, line, "upgrade")
+    assert result.state == MODIFIED
+    entry = system.fabric.directory.peek(line)
+    assert entry.owner == 0
+
+
+def test_intervention_race_falls_back_to_memory():
+    """If the owner wrote the line back just before the intervention
+    arrives, the read must still complete correctly."""
+    system = make_system()
+    line = local_line(system, 2)
+    run_fetch(system, 1, line, "excl")
+    # Owner's L2 does NOT have the line (simulates eviction): directory
+    # still thinks node 1 owns it.
+    result, _ = run_fetch(system, 0, line, "read")
+    assert result.state == SHARED
+    assert system.fabric.intervention_races == 1
+
+
+# ----------------------------------------------------------------------
+# Writebacks and replacement hints
+# ----------------------------------------------------------------------
+def test_writeback_clears_ownership():
+    system = make_system()
+    line = local_line(system, 2)
+    run_fetch(system, 0, line, "excl")
+    system.fabric.writeback(0, line)
+    entry = system.fabric.directory.peek(line)
+    assert entry.state == UNCACHED
+    assert system.fabric.writebacks == 1
+    system.engine.run()  # drain the asynchronous traffic
+
+
+def test_writeback_downgrade_keeps_shared_copy():
+    system = make_system()
+    line = local_line(system, 2)
+    run_fetch(system, 0, line, "excl")
+    system.fabric.writeback_downgrade(0, line)
+    entry = system.fabric.directory.peek(line)
+    assert entry.state == DIR_SHARED
+    assert entry.sharers == {0}
+    system.engine.run()
+
+
+def test_replacement_hint_removes_sharer_and_future_bit():
+    system = make_system()
+    line = local_line(system, 2)
+    run_fetch(system, 0, line, "read")
+    system.fabric.directory.add_future_sharer(line, 0)
+    system.fabric.replacement_hint(0, line, transparent=False)
+    entry = system.fabric.directory.peek(line)
+    assert 0 not in entry.sharers
+    assert 0 not in entry.future_sharers
+    system.engine.run()
+
+
+def test_transparent_eviction_hint_keeps_sharer_vector():
+    """Evicting a transparent copy must not remove a (never-added) sharer
+    but must clear the future-sharer bit."""
+    system = make_system()
+    line = local_line(system, 2)
+    run_fetch(system, 1, line, "read")
+    system.fabric.directory.add_future_sharer(line, 0)
+    system.fabric.replacement_hint(0, line, transparent=True)
+    entry = system.fabric.directory.peek(line)
+    assert entry.sharers == {1}
+    assert entry.future_sharers == set()
+    system.engine.run()
+
+
+# ----------------------------------------------------------------------
+# Transparent loads (Section 4.1)
+# ----------------------------------------------------------------------
+def test_transparent_load_of_exclusive_line():
+    system = make_system()
+    line = local_line(system, 2)
+    run_fetch(system, 1, line, "excl")
+    system.nodes[1].ctrl.l2.insert(line, MODIFIED)
+    result, _ = run_fetch(system, 0, line, "transparent", role="A")
+    assert result.transparent
+    assert not result.upgraded
+    entry = system.fabric.directory.peek(line)
+    # the owner is undisturbed and the requester is NOT a sharer
+    assert entry.state == EXCLUSIVE and entry.owner == 1
+    assert 0 not in entry.sharers
+    assert 0 in entry.future_sharers
+    assert system.fabric.transparent_replies == 1
+    system.engine.run()
+    # SI hint was delivered to the owner
+    assert system.nodes[1].ctrl.l2.probe(line).si_hint
+
+
+def test_transparent_load_of_shared_line_upgrades():
+    system = make_system()
+    line = local_line(system, 2)
+    run_fetch(system, 1, line, "read")
+    result, _ = run_fetch(system, 0, line, "transparent", role="A")
+    assert result.upgraded
+    assert not result.transparent
+    entry = system.fabric.directory.peek(line)
+    assert 0 in entry.sharers
+    assert 0 in entry.future_sharers
+    assert system.fabric.upgraded_transparent == 1
+
+
+def test_si_hint_suppressed_when_disabled():
+    system = make_system()
+    system.fabric.si_enabled = False
+    line = local_line(system, 2)
+    run_fetch(system, 1, line, "excl")
+    system.nodes[1].ctrl.l2.insert(line, MODIFIED)
+    run_fetch(system, 0, line, "transparent", role="A")
+    system.engine.run()
+    assert system.fabric.si_hints_sent == 0
+    assert not system.nodes[1].ctrl.l2.probe(line).si_hint
+
+
+def test_r_request_consumes_future_sharer_bit():
+    system = make_system()
+    line = local_line(system, 2)
+    system.fabric.directory.add_future_sharer(line, 0)
+    run_fetch(system, 0, line, "read", role="R")
+    assert 0 not in system.fabric.directory.peek(line).future_sharers
+
+
+def test_getx_piggybacks_si_hint_for_future_sharers():
+    """Figure 8 right: an exclusive acquisition on a line with other
+    future sharers carries a self-invalidation hint."""
+    system = make_system()
+    line = local_line(system, 2)
+    system.fabric.directory.add_future_sharer(line, 3)
+    result, _ = run_fetch(system, 0, line, "excl", role="R")
+    assert result.si_hint
+
+
+def test_getx_no_hint_when_only_self_is_future_sharer():
+    system = make_system()
+    line = local_line(system, 2)
+    system.fabric.directory.add_future_sharer(line, 0)
+    result, _ = run_fetch(system, 0, line, "excl", role="R")
+    assert not result.si_hint
+
+
+def test_unknown_kind_rejected():
+    system = make_system()
+    with pytest.raises(ValueError):
+        run_fetch(system, 0, 0, "bogus")

@@ -1,0 +1,174 @@
+"""Protocol race-condition and edge-case tests.
+
+Evictions update directory metadata outside the per-line guard, so
+transactions must tolerate the entry changing between guard acquisition
+and use.  These tests drive each documented race deterministically.
+"""
+
+import pytest
+
+from repro.machine.system import System
+from repro.memory.cache import MODIFIED, SHARED
+from repro.memory.directory import EXCLUSIVE, UNCACHED
+from repro.memory.directory import SHARED as DIR_SHARED
+from repro.sim import Process, Timeout
+from tests.conftest import tiny_config
+from tests.test_protocol import local_line, run_fetch
+
+
+def make_system(n=4):
+    return System(tiny_config(n_cmps=n))
+
+
+def test_upgrade_after_losing_shared_copy_becomes_getx():
+    """A queued upgrade whose requester was invalidated while waiting must
+    still complete with ownership (NAK-free resolution)."""
+    system = make_system()
+    line = local_line(system, 2)
+    # two sharers
+    run_fetch(system, 0, line, "read")
+    run_fetch(system, 1, line, "read")
+
+    results = {}
+
+    def upgrader():
+        result = yield from system.fabric.fetch(0, line, "upgrade", "R")
+        results["upgrade"] = result
+
+    def stealer():
+        result = yield from system.fabric.fetch(1, line, "excl", "R")
+        results["steal"] = result
+
+    # The steal wins the guard first (created first), invalidating node 0;
+    # node 0's upgrade then runs and must behave like a full GETX.
+    Process(system.engine, stealer())
+    Process(system.engine, upgrader())
+    system.engine.run()
+    assert results["upgrade"].state == MODIFIED
+    entry = system.fabric.directory.peek(line)
+    assert entry.state == EXCLUSIVE and entry.owner == 0
+
+
+def test_read_during_own_writeback_window():
+    """Directory thinks we own the line (stale), we re-read it: the
+    protocol serves it from memory."""
+    system = make_system()
+    line = local_line(system, 2)
+    run_fetch(system, 0, line, "excl")
+    # L2 never got the fill installed (simulating the eviction window)
+    result, _ = run_fetch(system, 0, line, "read")
+    assert result.state == SHARED
+    entry = system.fabric.directory.peek(line)
+    assert entry.sharers == {0}
+
+
+def test_transparent_load_when_we_are_stale_owner():
+    system = make_system()
+    line = local_line(system, 2)
+    run_fetch(system, 0, line, "excl")
+    result, _ = run_fetch(system, 0, line, "transparent", role="A")
+    # degenerate case: upgraded to a normal load
+    assert result.upgraded
+
+
+def test_eviction_mid_intervention_is_handled():
+    """The owner evicts (writes back) while an intervention is in flight;
+    the reader still completes and the directory stays consistent."""
+    system = make_system()
+    line = local_line(system, 2)
+    run_fetch(system, 1, line, "excl")
+    system.nodes[1].ctrl.l2.insert(line, MODIFIED)
+
+    def reader():
+        yield from system.fabric.fetch(0, line, "read", "R")
+
+    def evictor():
+        # Let the read transaction get past the guard, then evict.
+        yield Timeout(150)
+        victim = system.nodes[1].ctrl.l2.invalidate(line)
+        if victim is not None:
+            system.fabric.writeback(1, line)
+
+    Process(system.engine, reader())
+    Process(system.engine, evictor())
+    system.engine.run()
+    entry = system.fabric.directory.peek(line)
+    assert entry.state in (DIR_SHARED, UNCACHED)
+    if entry.state == DIR_SHARED:
+        assert 0 in entry.sharers
+
+
+def test_two_writers_alternate_cleanly():
+    system = make_system()
+    line = local_line(system, 2)
+    order = []
+
+    def writer(node, rounds):
+        ctrl = system.nodes[node].ctrl
+        for _ in range(rounds):
+            yield from ctrl.store(0, "R", line)
+            order.append(node)
+
+    Process(system.engine, writer(0, 3))
+    Process(system.engine, writer(1, 3))
+    system.engine.run()
+    assert len(order) == 6
+    entry = system.fabric.directory.peek(line)
+    assert entry.state == EXCLUSIVE
+    # final owner's cache holds M; the other node holds nothing
+    owner = entry.owner
+    other = 1 - owner
+    assert system.nodes[owner].ctrl.l2.probe(line).state == MODIFIED
+    assert system.nodes[other].ctrl.l2.probe(line) is None
+
+
+def test_many_concurrent_readers_one_line():
+    system = make_system(n=4)
+    line = local_line(system, 0)
+    done = []
+
+    def reader(node):
+        yield from system.nodes[node].ctrl.load(0, "R", line)
+        done.append(node)
+
+    for node in range(4):
+        Process(system.engine, reader(node))
+    system.engine.run()
+    assert sorted(done) == [0, 1, 2, 3]
+    entry = system.fabric.directory.peek(line)
+    assert entry.sharers == {0, 1, 2, 3}
+
+
+def test_reader_storm_then_writer():
+    system = make_system(n=4)
+    line = local_line(system, 0)
+
+    def reader(node):
+        yield from system.nodes[node].ctrl.load(0, "R", line)
+
+    for node in range(4):
+        Process(system.engine, reader(node))
+    system.engine.run()
+
+    def writer():
+        yield from system.nodes[3].ctrl.store(0, "R", line)
+
+    Process(system.engine, writer())
+    system.engine.run()
+    # writer invalidated every other copy
+    for node in range(3):
+        assert system.nodes[node].ctrl.l2.probe(line) is None
+    assert system.fabric.invalidations_sent >= 3
+
+
+def test_guard_released_on_every_path():
+    """After any mix of transactions, all per-line guards are free."""
+    system = make_system()
+    line = local_line(system, 2)
+    run_fetch(system, 0, line, "read")
+    run_fetch(system, 1, line, "excl")
+    run_fetch(system, 0, line, "transparent", role="A")
+    run_fetch(system, 0, line, "excl")
+    guard = system.fabric.directory.guard(line)
+    assert guard.count == 1  # binary semaphore back to free
+    assert guard.num_waiters == 0

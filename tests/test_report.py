@@ -1,0 +1,79 @@
+"""Tests for the text reporting/chart helpers."""
+
+import pytest
+
+from repro.stats.report import (bar_chart, breakdown_chart, hbar,
+                                series_table, stacked_bar)
+
+
+def test_hbar_scales_linearly():
+    assert hbar(5, 10, width=10) == "#####"
+    assert hbar(10, 10, width=10) == "#" * 10
+    assert hbar(0, 10, width=10) == ""
+
+
+def test_hbar_clamps_overflow():
+    assert hbar(20, 10, width=10) == "#" * 10
+
+
+def test_hbar_zero_scale():
+    assert hbar(5, 0) == ""
+
+
+def test_bar_chart_rows_and_values():
+    text = bar_chart({"double": 1.5, "slip": 1.2}, title="speedups")
+    lines = text.splitlines()
+    assert lines[0] == "speedups"
+    assert "double" in lines[1] and "1.50" in lines[1]
+    assert "slip" in lines[2] and "1.20" in lines[2]
+    # longer value gets the longer bar
+    assert lines[1].count("#") > lines[2].count("#")
+
+
+def test_bar_chart_reference_marker():
+    text = bar_chart({"a": 2.0, "b": 0.5}, reference=1.0)
+    # the row below the reference shows the tick beyond its bar
+    row_b = text.splitlines()[1]
+    assert "|" in row_b or "+" in row_b
+
+
+def test_bar_chart_empty():
+    assert bar_chart({}, title="t") == "t"
+
+
+def test_stacked_bar_composition():
+    bar = stacked_bar({"busy": 5, "stall": 5}, total=10, width=10)
+    assert bar == "#####====="
+
+
+def test_stacked_bar_zero_total():
+    assert stacked_bar({"busy": 1}, total=0) == ""
+
+
+def test_breakdown_chart_scales_to_largest():
+    bars = {
+        "S": {"busy": 50, "stall": 50},
+        "D": {"busy": 25, "stall": 25},
+    }
+    text = breakdown_chart(bars, width=40)
+    s_row, d_row = text.splitlines()[0:2]
+    assert len(s_row.split()[1]) > len(d_row.split()[1])
+    assert "busy" in text  # legend
+
+
+def test_series_table_alignment():
+    text = series_table({"sor": {2: 1.7, 16: 6.9},
+                         "mg": {2: 1.4, 16: 2.3}}, title="fig4")
+    lines = text.splitlines()
+    assert lines[0] == "fig4"
+    assert "2" in lines[1] and "16" in lines[1]
+    assert "1.70" in lines[2] and "6.90" in lines[2]
+
+
+def test_series_table_missing_cells():
+    text = series_table({"a": {2: 1.0}, "b": {4: 2.0}})
+    assert "1.00" in text and "2.00" in text
+
+
+def test_series_table_empty():
+    assert series_table({}, title="t") == "t"

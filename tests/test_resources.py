@@ -1,0 +1,242 @@
+"""Unit tests for events, signals, semaphores, and occupancy resources."""
+
+import pytest
+
+from repro.sim import (Engine, Process, Resource, Signal, SimEvent,
+                       SimSemaphore, Timeout)
+from tests.conftest import run_process
+
+
+# ----------------------------------------------------------------------
+# SimEvent
+# ----------------------------------------------------------------------
+def test_event_delivers_value_to_waiters(engine):
+    event = SimEvent(engine)
+    seen = []
+
+    def waiter():
+        value = yield event
+        seen.append((engine.now, value))
+
+    Process(engine, waiter())
+    engine.schedule(25, lambda: event.trigger("go"))
+    engine.run()
+    assert seen == [(25, "go")]
+
+
+def test_event_wait_after_trigger_resumes_immediately(engine):
+    event = SimEvent(engine)
+    event.trigger(7)
+    seen = []
+
+    def waiter():
+        yield Timeout(10)
+        value = yield event
+        seen.append((engine.now, value))
+
+    run_process(engine, waiter())
+    assert seen == [(10, 7)]
+
+
+def test_event_double_trigger_raises(engine):
+    event = SimEvent(engine)
+    event.trigger()
+    with pytest.raises(RuntimeError):
+        event.trigger()
+
+
+def test_event_num_waiters(engine):
+    event = SimEvent(engine)
+
+    def waiter():
+        yield event
+
+    Process(engine, waiter())
+    Process(engine, waiter())
+    # processes haven't started yet; run them up to the wait
+    engine.schedule(1, lambda: None)
+    engine.run(until=0, check_deadlock=False)
+    assert event.num_waiters == 2
+    event.trigger()
+    engine.run()
+
+
+# ----------------------------------------------------------------------
+# Signal
+# ----------------------------------------------------------------------
+def test_signal_is_reusable(engine):
+    signal = Signal(engine)
+    wakeups = []
+
+    def waiter():
+        for _ in range(2):
+            yield signal
+            wakeups.append(engine.now)
+
+    Process(engine, waiter())
+    engine.schedule(10, signal.fire)
+    engine.schedule(20, signal.fire)
+    engine.run()
+    assert wakeups == [10, 20]
+
+
+def test_signal_only_wakes_current_waiters(engine):
+    signal = Signal(engine)
+    signal.fire()  # nobody waiting: no effect
+    woken = []
+
+    def waiter():
+        yield signal
+        woken.append(True)
+
+    Process(engine, waiter())
+    engine.schedule(5, signal.fire)
+    engine.run()
+    assert woken == [True]
+
+
+# ----------------------------------------------------------------------
+# SimSemaphore
+# ----------------------------------------------------------------------
+def test_semaphore_initial_tokens(engine):
+    sem = SimSemaphore(engine, initial=2)
+    assert sem.try_acquire()
+    assert sem.try_acquire()
+    assert not sem.try_acquire()
+
+
+def test_semaphore_negative_initial_rejected(engine):
+    with pytest.raises(ValueError):
+        SimSemaphore(engine, initial=-1)
+
+
+def test_semaphore_blocks_until_release(engine):
+    sem = SimSemaphore(engine, initial=0)
+    stamps = []
+
+    def waiter():
+        yield sem.acquire()
+        stamps.append(engine.now)
+
+    Process(engine, waiter())
+    engine.schedule(40, sem.release)
+    engine.run()
+    assert stamps == [40]
+
+
+def test_semaphore_fifo_order(engine):
+    sem = SimSemaphore(engine, initial=0)
+    order = []
+
+    def waiter(tag, start_delay):
+        yield Timeout(start_delay)
+        yield sem.acquire()
+        order.append(tag)
+
+    Process(engine, waiter("first", 1))
+    Process(engine, waiter("second", 2))
+    engine.schedule(10, lambda: sem.release(2))
+    engine.run()
+    assert order == ["first", "second"]
+
+
+def test_try_acquire_respects_queue(engine):
+    """A token released while someone is queued must go to the queue, not
+    to a later try_acquire."""
+    sem = SimSemaphore(engine, initial=0)
+    got = []
+
+    def waiter():
+        yield sem.acquire()
+        got.append("waiter")
+
+    Process(engine, waiter())
+
+    def late_probe():
+        assert not sem.try_acquire()
+
+    engine.schedule(5, sem.release)
+    engine.schedule(5, late_probe)
+    engine.run()
+    assert got == ["waiter"]
+
+
+def test_semaphore_drain(engine):
+    sem = SimSemaphore(engine, initial=5)
+    sem.drain()
+    assert sem.count == 0
+    assert not sem.try_acquire()
+
+
+# ----------------------------------------------------------------------
+# Resource
+# ----------------------------------------------------------------------
+def test_resource_serializes_jobs(engine):
+    resource = Resource(engine, "dc")
+    stamps = []
+
+    def client(tag):
+        yield resource.serve(60)
+        stamps.append((tag, engine.now))
+
+    Process(engine, client("a"))
+    Process(engine, client("b"))
+    engine.run()
+    assert stamps == [("a", 60), ("b", 120)]
+
+
+def test_resource_idle_then_busy_again(engine):
+    resource = Resource(engine, "dc")
+    stamps = []
+
+    def client(delay):
+        yield Timeout(delay)
+        yield resource.serve(10)
+        stamps.append(engine.now)
+
+    Process(engine, client(0))
+    Process(engine, client(100))
+    engine.run()
+    assert stamps == [10, 110]
+
+
+def test_resource_post_consumes_occupancy_without_blocking(engine):
+    resource = Resource(engine, "dc")
+    resource.post(50)
+    stamps = []
+
+    def client():
+        yield resource.serve(10)
+        stamps.append(engine.now)
+
+    Process(engine, client())
+    engine.run()
+    assert stamps == [60]  # queued behind the posted job
+
+
+def test_resource_statistics(engine):
+    resource = Resource(engine, "dc")
+
+    def client():
+        yield resource.serve(25)
+
+    Process(engine, client())
+    Process(engine, client())
+    engine.run()
+    assert resource.total_jobs == 2
+    assert resource.busy_cycles == 50
+    assert resource.utilization() == 1.0
+    assert resource.queue_length == 0
+
+
+def test_resource_queue_time_accounting(engine):
+    resource = Resource(engine, "dc")
+
+    def client():
+        yield resource.serve(100)
+
+    Process(engine, client())
+    Process(engine, client())
+    engine.run()
+    # second job waited 100 cycles
+    assert resource.total_queue_cycles == 100

@@ -1,0 +1,136 @@
+"""Hypothesis rule-based state machines for the cache and directory.
+
+These drive long random operation sequences against reference models and
+check invariants after every step — the strongest kind of regression net
+for the data structures the whole simulator leans on.
+"""
+
+from collections import OrderedDict
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (RuleBasedStateMachine, invariant, rule)
+
+from repro.memory.cache import Cache, MODIFIED, SHARED
+from repro.memory.directory import (EXCLUSIVE, SHARED as DIR_SHARED,
+                                    UNCACHED, DirectoryEntry)
+
+LINES = st.integers(0, 23)
+
+
+class CacheMachine(RuleBasedStateMachine):
+    """Cache vs an ordered-dict LRU reference model."""
+
+    def __init__(self):
+        super().__init__()
+        self.n_sets, self.assoc = 4, 2
+        self.cache = Cache(self.n_sets * self.assoc * 64, self.assoc, 64)
+        self.model = [OrderedDict() for _ in range(self.n_sets)]
+
+    def _set(self, line):
+        return self.model[line % self.n_sets]
+
+    @rule(line=LINES, state=st.sampled_from([SHARED, MODIFIED]))
+    def insert(self, line, state):
+        self.cache.insert(line, state)
+        ref = self._set(line)
+        if line in ref:
+            ref[line] = state
+            ref.move_to_end(line)
+        else:
+            if len(ref) == self.assoc:
+                ref.popitem(last=False)
+            ref[line] = state
+
+    @rule(line=LINES)
+    def lookup(self, line):
+        hit = self.cache.lookup(line)
+        ref = self._set(line)
+        assert (hit is not None) == (line in ref)
+        if hit is not None:
+            assert hit.state == ref[line]
+            ref.move_to_end(line)
+
+    @rule(line=LINES)
+    def invalidate(self, line):
+        removed = self.cache.invalidate(line)
+        ref = self._set(line)
+        assert (removed is not None) == (line in ref)
+        ref.pop(line, None)
+
+    @rule(line=LINES)
+    def downgrade(self, line):
+        self.cache.downgrade(line)
+        ref = self._set(line)
+        if line in ref:
+            ref[line] = SHARED
+
+    @invariant()
+    def same_residents(self):
+        for set_idx in range(self.n_sets):
+            resident = {l.line_addr: l.state
+                        for l in self.cache._sets[set_idx].values()}
+            assert resident == dict(self.model[set_idx])
+
+    @invariant()
+    def capacity_respected(self):
+        assert self.cache.occupancy <= self.n_sets * self.assoc
+
+
+class DirectoryMachine(RuleBasedStateMachine):
+    """DirectoryEntry transition legality under random protocol events."""
+
+    NODES = st.integers(0, 3)
+
+    def __init__(self):
+        super().__init__()
+        self.entry = DirectoryEntry()
+
+    @rule(node=NODES)
+    def read(self, node):
+        if self.entry.state == EXCLUSIVE:
+            if self.entry.owner == node:
+                return
+            self.entry.downgrade_owner_to_sharer()
+        self.entry.add_sharer(node)
+
+    @rule(node=NODES)
+    def write(self, node):
+        self.entry.set_exclusive(node)
+
+    @rule(node=NODES)
+    def evict(self, node):
+        if self.entry.state == EXCLUSIVE and self.entry.owner == node:
+            self.entry.clear()
+        else:
+            self.entry.remove_sharer(node)
+
+    @rule(node=NODES)
+    def future(self, node):
+        self.entry.future_sharers.add(node)
+
+    @invariant()
+    def state_shape_is_legal(self):
+        entry = self.entry
+        if entry.state == UNCACHED:
+            assert entry.owner is None
+            assert not entry.sharers
+        elif entry.state == DIR_SHARED:
+            assert entry.owner is None
+            assert entry.sharers
+        else:
+            assert entry.state == EXCLUSIVE
+            assert entry.owner is not None
+            assert not entry.sharers
+
+    @invariant()
+    def migrations_monotone(self):
+        assert self.entry.migrations >= 0
+
+
+CacheStateMachine = CacheMachine.TestCase
+CacheStateMachine.settings = settings(max_examples=25,
+                                      stateful_step_count=40)
+DirectoryStateMachine = DirectoryMachine.TestCase
+DirectoryStateMachine.settings = settings(max_examples=25,
+                                          stateful_step_count=40)

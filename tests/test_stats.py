@@ -1,0 +1,145 @@
+"""Unit tests for the classification and time-breakdown accounting."""
+
+import pytest
+
+from repro.stats.classify import CATEGORIES, KINDS, RequestClassifier
+from repro.stats.timebreakdown import (CATEGORIES as TIME_CATEGORIES,
+                                       TimeBreakdown, average_breakdown)
+
+
+# ----------------------------------------------------------------------
+# RequestClassifier
+# ----------------------------------------------------------------------
+def test_a_fetch_outcomes_counted_by_kind():
+    classifier = RequestClassifier()
+    classifier.on_a_fetch_issued("read")
+    classifier.on_a_fetch_timely("read")
+    classifier.on_a_fetch_issued("excl")
+    classifier.on_a_fetch_late("excl")
+    classifier.on_a_fetch_issued("read")
+    classifier.on_a_fetch_only("read")
+    assert classifier.counts["a_timely"]["read"] == 1
+    assert classifier.counts["a_late"]["excl"] == 1
+    assert classifier.counts["a_only"]["read"] == 1
+    assert classifier.a_request_count("read") == 2
+
+
+def test_r_miss_after_a_touch_is_timely():
+    classifier = RequestClassifier()
+    classifier.on_a_touch(0, 100)
+    classifier.on_r_miss(0, 100, "read")
+    assert classifier.counts["r_timely"]["read"] == 1
+
+
+def test_r_miss_before_a_touch_becomes_late():
+    classifier = RequestClassifier()
+    classifier.on_r_miss(0, 100, "read")
+    classifier.on_r_miss(0, 100, "excl")
+    classifier.on_a_touch(0, 100)
+    assert classifier.counts["r_late"]["read"] == 1
+    assert classifier.counts["r_late"]["excl"] == 1
+
+
+def test_r_miss_never_touched_by_a_becomes_only_at_finalize():
+    classifier = RequestClassifier()
+    classifier.on_r_miss(1, 200, "read")
+    classifier.finalize()
+    assert classifier.counts["r_only"]["read"] == 1
+
+
+def test_correlation_is_per_node():
+    classifier = RequestClassifier()
+    classifier.on_a_touch(0, 100)
+    classifier.on_r_miss(1, 100, "read")  # different node: not correlated
+    classifier.finalize()
+    assert classifier.counts["r_timely"]["read"] == 0
+    assert classifier.counts["r_only"]["read"] == 1
+
+
+def test_repeated_a_touch_is_idempotent():
+    classifier = RequestClassifier()
+    classifier.on_r_miss(0, 5, "read")
+    classifier.on_a_touch(0, 5)
+    classifier.on_a_touch(0, 5)
+    assert classifier.counts["r_late"]["read"] == 1
+
+
+def test_finalize_is_idempotent():
+    classifier = RequestClassifier()
+    classifier.on_r_miss(0, 5, "read")
+    classifier.finalize()
+    classifier.finalize()
+    assert classifier.counts["r_only"]["read"] == 1
+
+
+def test_breakdown_fractions_sum_to_one():
+    classifier = RequestClassifier()
+    classifier.on_a_fetch_timely("read")
+    classifier.on_a_fetch_late("read")
+    classifier.on_r_miss(0, 1, "read")
+    classifier.finalize()
+    breakdown = classifier.breakdown("read")
+    assert sum(breakdown.values()) == pytest.approx(1.0)
+    assert set(breakdown) == set(CATEGORIES)
+
+
+def test_breakdown_empty_is_all_zero():
+    classifier = RequestClassifier()
+    assert set(classifier.breakdown("excl").values()) == {0.0}
+
+
+def test_summary_is_a_copy():
+    classifier = RequestClassifier()
+    summary = classifier.summary()
+    summary["a_timely"]["read"] = 999
+    assert classifier.counts["a_timely"]["read"] == 0
+
+
+# ----------------------------------------------------------------------
+# TimeBreakdown
+# ----------------------------------------------------------------------
+def test_breakdown_add_and_total():
+    breakdown = TimeBreakdown()
+    breakdown.add("busy", 100)
+    breakdown.add("stall", 50)
+    breakdown.add("arsync", 25)
+    assert breakdown.total == 175
+    assert breakdown.as_dict()["stall"] == 50
+
+
+def test_breakdown_rejects_negative():
+    breakdown = TimeBreakdown()
+    with pytest.raises(ValueError):
+        breakdown.add("busy", -1)
+
+
+def test_breakdown_fractions():
+    breakdown = TimeBreakdown(busy=75, stall=25)
+    fractions = breakdown.fractions()
+    assert fractions["busy"] == pytest.approx(0.75)
+    assert sum(fractions.values()) == pytest.approx(1.0)
+
+
+def test_breakdown_fractions_empty():
+    assert set(TimeBreakdown().fractions().values()) == {0.0}
+
+
+def test_merged_with():
+    a = TimeBreakdown(busy=10, lock=5)
+    b = TimeBreakdown(busy=1, barrier=2)
+    merged = a.merged_with(b)
+    assert merged.busy == 11
+    assert merged.lock == 5
+    assert merged.barrier == 2
+
+
+def test_average_breakdown():
+    a = TimeBreakdown(busy=10, stall=20)
+    b = TimeBreakdown(busy=30, stall=0)
+    mean = average_breakdown([a, b])
+    assert mean.busy == 20
+    assert mean.stall == 10
+
+
+def test_average_breakdown_empty():
+    assert average_breakdown([]).total == 0

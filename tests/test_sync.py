@@ -1,0 +1,263 @@
+"""Tests for the synchronization objects (barriers, locks, events)."""
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.runtime.sync import SyncBarrier, SyncEvent, SyncLock, SyncRegistry
+from repro.sim import Engine, Process, Timeout
+
+
+# ----------------------------------------------------------------------
+# SyncBarrier
+# ----------------------------------------------------------------------
+def test_barrier_releases_all_after_last_arrival(engine):
+    barrier = SyncBarrier(engine, 3, entry_cycles=10, release_cycles=100)
+    releases = []
+
+    def task(delay):
+        yield Timeout(delay)
+        yield from barrier.arrive()
+        releases.append(engine.now)
+
+    for delay in (0, 50, 200):
+        Process(engine, task(delay))
+    engine.run()
+    # last arrival completes its entry at 210; release 100 later
+    assert releases == [310, 310, 310]
+    assert barrier.episodes == 1
+
+
+def test_barrier_arrivals_serialize_on_counter(engine):
+    """Simultaneous arrivals queue on the barrier counter: O(n) behaviour."""
+    barrier = SyncBarrier(engine, 4, entry_cycles=10, release_cycles=0)
+    releases = []
+
+    def task():
+        yield from barrier.arrive()
+        releases.append(engine.now)
+
+    for _ in range(4):
+        Process(engine, task())
+    engine.run()
+    # 4 serialized counter updates of 10 cycles each
+    assert releases == [40, 40, 40, 40]
+
+
+def test_barrier_is_reusable_across_generations(engine):
+    barrier = SyncBarrier(engine, 2, entry_cycles=1, release_cycles=10)
+    waits = []
+
+    def task(tag):
+        for _ in range(3):
+            yield from barrier.arrive()
+            waits.append((tag, engine.now))
+
+    Process(engine, task("a"))
+    Process(engine, task("b"))
+    engine.run()
+    assert len(waits) == 6
+    times = sorted({t for _, t in waits})
+    assert len(times) == 3  # three distinct episodes
+
+
+def test_barrier_generation_no_crosstalk(engine):
+    """A fast task re-arriving must not be released by the previous
+    generation's trigger."""
+    barrier = SyncBarrier(engine, 2, entry_cycles=1, release_cycles=50)
+    log = []
+
+    def fast():
+        yield from barrier.arrive()
+        log.append(("fast1", engine.now))
+        yield from barrier.arrive()
+        log.append(("fast2", engine.now))
+
+    def slow():
+        yield Timeout(10)
+        yield from barrier.arrive()
+        log.append(("slow1", engine.now))
+        yield Timeout(500)
+        yield from barrier.arrive()
+        log.append(("slow2", engine.now))
+
+    Process(engine, fast())
+    Process(engine, slow())
+    engine.run()
+    fast2 = dict(log)["fast2"]
+    slow1 = dict(log)["slow1"]
+    assert fast2 > slow1  # fast's second pass waited for slow's second pass
+
+
+def test_barrier_single_participant(engine):
+    barrier = SyncBarrier(engine, 1, entry_cycles=5, release_cycles=20)
+
+    def task():
+        yield from barrier.arrive()
+        return engine.now
+
+    process = Process(engine, task())
+    engine.run()
+    assert process.result == 25
+
+
+def test_barrier_validates_participants(engine):
+    with pytest.raises(ValueError):
+        SyncBarrier(engine, 0, 1, 1)
+
+
+# ----------------------------------------------------------------------
+# SyncLock
+# ----------------------------------------------------------------------
+def test_uncontended_lock_costs_local_roundtrip(engine):
+    lock = SyncLock(engine, local_cycles=40, transfer_cycles=290)
+
+    def task():
+        yield from lock.acquire("me")
+        return engine.now
+
+    process = Process(engine, task())
+    engine.run()
+    assert process.result == 40
+    assert lock.holder == "me"
+    assert lock.contended_acquisitions == 0
+
+
+def test_contended_lock_pays_transfer(engine):
+    lock = SyncLock(engine, local_cycles=40, transfer_cycles=290)
+    log = []
+
+    def first():
+        yield from lock.acquire("first")
+        yield Timeout(100)
+        lock.release("first")
+
+    def second():
+        yield Timeout(1)
+        yield from lock.acquire("second")
+        log.append(engine.now)
+        lock.release("second")
+
+    Process(engine, first())
+    Process(engine, second())
+    engine.run()
+    # release at 140, transfer 290 -> acquired at 430
+    assert log == [430]
+    assert lock.contended_acquisitions == 1
+
+
+def test_lock_fifo_ordering(engine):
+    lock = SyncLock(engine, 1, 10)
+    order = []
+
+    def task(tag, delay):
+        yield Timeout(delay)
+        yield from lock.acquire(tag)
+        order.append(tag)
+        yield Timeout(5)
+        lock.release(tag)
+
+    for tag, delay in (("a", 0), ("b", 1), ("c", 2)):
+        Process(engine, task(tag, delay))
+    engine.run()
+    assert order == ["a", "b", "c"]
+    assert lock.holder is None
+    assert lock.waiters == 0
+
+
+def test_release_by_non_holder_rejected(engine):
+    lock = SyncLock(engine, 1, 1)
+
+    def task():
+        yield from lock.acquire("me")
+
+    Process(engine, task())
+    engine.run()
+    with pytest.raises(RuntimeError):
+        lock.release("someone-else")
+
+
+# ----------------------------------------------------------------------
+# SyncEvent
+# ----------------------------------------------------------------------
+def test_event_wait_blocks_until_set(engine):
+    event = SyncEvent(engine, notify_cycles=20)
+    log = []
+
+    def waiter():
+        yield from event.wait()
+        log.append(engine.now)
+
+    Process(engine, waiter())
+    engine.schedule(100, event.set)
+    engine.run()
+    assert log == [120]  # set at 100 + 20 notify
+
+
+def test_event_wait_after_set_is_fast(engine):
+    event = SyncEvent(engine, notify_cycles=20)
+    event.set()
+    log = []
+
+    def waiter():
+        yield Timeout(500)
+        yield from event.wait()
+        log.append(engine.now)
+
+    Process(engine, waiter())
+    engine.run()
+    assert log == [520]
+
+
+def test_event_clear_rearms(engine):
+    event = SyncEvent(engine, notify_cycles=0)
+    event.set()
+    event.clear()
+    assert not event.flag
+
+
+# ----------------------------------------------------------------------
+# SyncRegistry
+# ----------------------------------------------------------------------
+def test_registry_caches_objects_by_id(engine):
+    registry = SyncRegistry(engine, MachineConfig(n_cmps=2), 4)
+    assert registry.barrier("b") is registry.barrier("b")
+    assert registry.lock("l") is registry.lock("l")
+    assert registry.event("e") is registry.event("e")
+    assert registry.barrier("b2") is not registry.barrier("b")
+
+
+def test_registry_barrier_uses_participant_count(engine):
+    registry = SyncRegistry(engine, MachineConfig(n_cmps=2), 7)
+    assert registry.barrier("x").n_participants == 7
+
+
+def test_registry_uses_config_costs(engine):
+    config = MachineConfig(n_cmps=2, lock_local_cycles=11,
+                           lock_transfer_cycles=22,
+                           barrier_entry_cycles=33,
+                           barrier_release_cycles=44)
+    registry = SyncRegistry(engine, config, 2)
+    assert registry.lock("l").local_cycles == 11
+    assert registry.lock("l").transfer_cycles == 22
+    assert registry.barrier("b").entry_cycles == 33
+    assert registry.barrier("b").release_cycles == 44
+
+
+def test_event_clear_cancels_pending_wakeup(engine):
+    """A clear() between set() and the delayed broadcast must not wake a
+    waiter that blocked after the clear."""
+    from repro.runtime.sync import SyncEvent
+    event = SyncEvent(engine, notify_cycles=50)
+    woken = []
+
+    def late_waiter():
+        yield Timeout(10)   # blocks after the clear below
+        yield from event.wait()
+        woken.append(engine.now)
+
+    Process(engine, late_waiter())
+    event.set()
+    engine.schedule(5, event.clear)
+    engine.schedule(200, event.set)   # the legitimate wakeup
+    engine.run()
+    assert woken == [250]

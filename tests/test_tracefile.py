@@ -1,0 +1,113 @@
+"""Tests for operation-trace export/replay."""
+
+import pytest
+
+from repro.config import MachineConfig, scaled_config
+from repro.experiments.driver import run_mode
+from repro.runtime import ops as op
+from repro.runtime.task import ROLE_R, TaskContext
+from repro.workloads import make
+from repro.workloads.sor import SOR
+from repro.workloads.tracefile import TraceWorkload, dump_trace
+from tests.test_workloads import allocate, ops_of
+
+
+def small():
+    return SOR(rows=32, cols=32, iterations=1)
+
+
+def test_round_trip_preserves_op_streams(tmp_path):
+    path = tmp_path / "sor.trace"
+    dump_trace(small(), 2, str(path))
+    replayed = TraceWorkload(str(path))
+    original = small()
+    allocate(original, 2)
+    for task_id in range(2):
+        orig_ops = ops_of(original, task_id, 2)
+        rep_ops = list(replayed.program(TaskContext(task_id, 2,
+                                                    role=ROLE_R)))
+        assert len(orig_ops) == len(rep_ops)
+        for a, b in zip(orig_ops, rep_ops):
+            assert type(a) is type(b)
+            if isinstance(a, (op.Load, op.Store)):
+                assert a.addr == b.addr
+            elif isinstance(a, op.Compute):
+                assert a.cycles == b.cycles
+
+
+def test_replay_is_cycle_identical_in_single_mode(tmp_path):
+    path = tmp_path / "sor.trace"
+    dump_trace(small(), 2, str(path))
+    config = MachineConfig(n_cmps=2, l1_size=2048, l2_size=16384)
+    original = run_mode(small(), config, "single").exec_cycles
+    replayed = run_mode(TraceWorkload(str(path)), config,
+                        "single").exec_cycles
+    assert original == replayed
+
+
+def test_replay_is_cycle_identical_under_slipstream(tmp_path):
+    path = tmp_path / "wns.trace"
+    dump_trace(make("water-ns"), 2, str(path))
+    config = scaled_config(2)
+    original = run_mode(make("water-ns"), config, "slipstream").exec_cycles
+    replayed = run_mode(TraceWorkload(str(path)), config,
+                        "slipstream").exec_cycles
+    assert original == replayed
+
+
+def test_tuple_sync_ids_survive(tmp_path):
+    """Water-NS uses tuple lock ids; they must round-trip consistently."""
+    path = tmp_path / "wns.trace"
+    dump_trace(make("water-ns"), 2, str(path))
+    replayed = TraceWorkload(str(path))
+    locks = {o.lid for o in replayed.program(TaskContext(0, 2, role=ROLE_R))
+             if isinstance(o, op.LockAcquire)}
+    assert locks  # present, and all distinct string forms
+    assert all(isinstance(lid, str) for lid in locks)
+
+
+def test_task_count_mismatch_rejected(tmp_path):
+    path = tmp_path / "sor.trace"
+    dump_trace(small(), 2, str(path))
+    with pytest.raises(ValueError, match="recorded with 2 tasks"):
+        run_mode(TraceWorkload(str(path)),
+                 MachineConfig(n_cmps=4, l1_size=2048, l2_size=16384),
+                 "single")
+
+
+def test_hand_written_trace(tmp_path):
+    path = tmp_path / "hand.trace"
+    path.write_text("""# tiny two-task producer/consumer
+P 65536 0
+T 0
+C 100
+S 0x10000000
+B phase
+T 1
+B phase
+L 0x10000000
+C 50
+""")
+    workload = TraceWorkload(str(path))
+    assert workload.n_tasks == 2
+    result = run_mode(workload,
+                      MachineConfig(n_cmps=2, l1_size=2048, l2_size=16384),
+                      "single")
+    assert result.exec_cycles > 0
+
+
+def test_unknown_record_rejected(tmp_path):
+    path = tmp_path / "bad.trace"
+    path.write_text("T 0\nZZ what\n")
+    with pytest.raises(ValueError, match="unknown record"):
+        TraceWorkload(str(path))
+
+
+def test_input_output_round_trip(tmp_path):
+    from repro.workloads.dynsched import DynSched
+    path = tmp_path / "dyn.trace"
+    dump_trace(DynSched(forward_decisions=True, rounds=2), 2, str(path))
+    replayed = TraceWorkload(str(path))
+    ops = list(replayed.program(TaskContext(0, 2, role=ROLE_R)))
+    inputs = [o for o in ops if isinstance(o, op.Input)]
+    assert inputs and inputs[0].cycles == 60

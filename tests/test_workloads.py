@@ -1,0 +1,259 @@
+"""Workload-level tests: SPMD structure, bounds, and partitioning."""
+
+import pytest
+
+from repro.memory.address import AddressSpace, SharedAllocator
+from repro.runtime import ops as op
+from repro.runtime.task import ROLE_A, ROLE_R, TaskContext
+from repro.workloads import PAPER_ORDER, REGISTRY, make
+from repro.workloads.base import block_range
+
+ALL_NAMES = sorted(REGISTRY)
+
+
+def allocate(workload, n_tasks, n_nodes=4):
+    space = AddressSpace(n_nodes)
+    allocator = SharedAllocator(space)
+    workload.allocate(allocator, n_tasks, lambda t: t % n_nodes)
+    return allocator
+
+
+def ops_of(workload, task_id, n_tasks, role=ROLE_R):
+    ctx = TaskContext(task_id, n_tasks, role=role)
+    return list(workload.program(ctx))
+
+
+# ----------------------------------------------------------------------
+# Generic per-workload checks
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_programs_yield_only_known_ops(name):
+    workload = make(name)
+    allocate(workload, 4)
+    for operation in ops_of(workload, 0, 4):
+        assert isinstance(operation, op.Op), operation
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_addresses_stay_inside_allocated_arrays(name):
+    workload = make(name)
+    allocator = allocate(workload, 4)
+    spans = [(a.base, a.base + a.nbytes) for a in allocator.arrays]
+    for task_id in range(4):
+        for operation in ops_of(workload, task_id, 4):
+            if isinstance(operation, (op.Load, op.Store)):
+                assert any(lo <= operation.addr < hi for lo, hi in spans), \
+                    f"{name}: {operation!r} outside all arrays"
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_barrier_counts_match_across_tasks(name):
+    """Every task must arrive at every global barrier the same number of
+    times, or runs would deadlock."""
+    workload = make(name)
+    allocate(workload, 4)
+    counts = []
+    for task_id in range(4):
+        per_barrier = {}
+        for operation in ops_of(workload, task_id, 4):
+            if isinstance(operation, op.Barrier):
+                per_barrier[operation.bid] = per_barrier.get(
+                    operation.bid, 0) + 1
+        counts.append(per_barrier)
+    assert all(c == counts[0] for c in counts[1:]), f"{name}: {counts}"
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_programs_are_spmd_identical_for_a_and_r(name):
+    """The A-stream is a fork of the same task: with no runtime feedback
+    the op streams must be identical (dynsched's divergent mode is the
+    deliberate exception)."""
+    workload = make(name)
+    if name == "dynsched":
+        pytest.skip("dynsched is deliberately role-dependent")
+    allocate(workload, 4)
+    r_ops = ops_of(workload, 1, 4, role=ROLE_R)
+    a_ops = ops_of(workload, 1, 4, role=ROLE_A)
+    assert len(r_ops) == len(a_ops)
+    for r_op, a_op in zip(r_ops, a_ops):
+        assert type(r_op) is type(a_op)
+        assert repr(r_op) == repr(a_op)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_locks_are_balanced(name):
+    workload = make(name)
+    allocate(workload, 2)
+    depth = 0
+    for operation in ops_of(workload, 0, 2):
+        if isinstance(operation, op.LockAcquire):
+            depth += 1
+        elif isinstance(operation, op.LockRelease):
+            depth -= 1
+            assert depth >= 0
+    assert depth == 0
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_single_task_degenerate_case(name):
+    """Every workload must be runnable with one task (the sequential
+    baseline)."""
+    workload = make(name)
+    allocate(workload, 1)
+    ops = ops_of(workload, 0, 1)
+    assert ops, f"{name} produced an empty sequential program"
+
+
+def test_registry_covers_paper_order():
+    assert set(PAPER_ORDER) <= set(REGISTRY)
+    assert len(PAPER_ORDER) == 9
+
+
+def test_make_unknown_name():
+    with pytest.raises(KeyError):
+        make("quicksort")
+
+
+# ----------------------------------------------------------------------
+# Partitioning helpers
+# ----------------------------------------------------------------------
+def test_block_range_covers_everything_disjointly():
+    total = 37
+    parts = 5
+    seen = []
+    for part in range(parts):
+        start, stop = block_range(total, parts, part)
+        seen.extend(range(start, stop))
+    assert seen == list(range(total))
+
+
+def test_block_range_handles_more_parts_than_items():
+    ranges = [block_range(3, 8, part) for part in range(8)]
+    sizes = [stop - start for start, stop in ranges]
+    assert sum(sizes) == 3
+    assert all(size in (0, 1) for size in sizes)
+
+
+def test_block_range_validates_part():
+    with pytest.raises(ValueError):
+        block_range(10, 4, 4)
+
+
+# ----------------------------------------------------------------------
+# Workload-specific structure
+# ----------------------------------------------------------------------
+def test_sor_shares_only_boundary_rows():
+    workload = make("sor")
+    allocate(workload, 4)
+    grid = workload.grid
+    rows = workload.rows
+    start, stop = block_range(rows, 4, 1)
+    touched_rows = set()
+    for operation in ops_of(workload, 1, 4):
+        if isinstance(operation, op.Load):
+            flat = (operation.addr - grid.base) // grid.elem_size
+            touched_rows.add(flat // workload.cols)
+    assert touched_rows <= set(range(start - 1, stop + 1))
+
+
+def test_sor_stores_only_own_rows():
+    workload = make("sor")
+    allocate(workload, 4)
+    grid = workload.grid
+    start, stop = block_range(workload.rows, 4, 2)
+    for operation in ops_of(workload, 2, 4):
+        if isinstance(operation, op.Store):
+            flat = (operation.addr - grid.base) // grid.elem_size
+            row = flat // workload.cols
+            assert start <= row < stop
+
+
+def test_fft_transpose_reads_every_tasks_rows():
+    workload = make("fft")
+    allocate(workload, 4)
+    data = workload.data
+    read_rows = set()
+    for operation in ops_of(workload, 0, 4):
+        if isinstance(operation, op.Load) and \
+                data.base <= operation.addr < data.base + data.nbytes:
+            flat = (operation.addr - data.base) // data.elem_size
+            read_rows.add(flat // workload.n1)
+    # the all-to-all must touch rows of all four blocks
+    for other in range(4):
+        start, stop = block_range(workload.n1, 4, other)
+        assert read_rows & set(range(start, stop)), f"missed block {other}"
+
+
+def test_water_ns_gathers_all_positions():
+    workload = make("water-ns")
+    allocate(workload, 4)
+    positions = workload.positions
+    loads = set()
+    for operation in ops_of(workload, 0, 4):
+        if isinstance(operation, op.Load) and \
+                positions.base <= operation.addr < positions.base + positions.nbytes:
+            flat = (operation.addr - positions.base) // positions.elem_size
+            loads.add(flat // positions.shape[1])
+    assert loads == set(range(workload.molecules))
+
+
+def test_water_ns_locks_only_unowned_molecules():
+    workload = make("water-ns")
+    allocate(workload, 4)
+    start, stop = block_range(workload.molecules, 4, 1)
+    for operation in ops_of(workload, 1, 4):
+        if isinstance(operation, op.LockAcquire):
+            _, lock_idx = operation.lid
+            assert 0 <= lock_idx < workload.n_locks
+
+
+def test_lu_owner_computes_diagonal():
+    workload = make("lu")
+    allocate(workload, 4)
+    # the owner of block (0,0) must touch it before the first barrier
+    owner = workload._owner(0, 0, 4)
+    ops_list = ops_of(workload, owner, 4)
+    first_barrier = next(i for i, o in enumerate(ops_list)
+                         if isinstance(o, op.Barrier))
+    diag = workload.block_arrays[(0, 0)]
+    assert any(isinstance(o, op.Store)
+               and diag.base <= o.addr < diag.base + diag.nbytes
+               for o in ops_list[:first_barrier])
+
+
+def test_cg_matrix_structure_is_deterministic():
+    a = make("cg")
+    b = make("cg")
+    assert all((x == y).all() for x, y in zip(a._cols, b._cols))
+
+
+def test_sp_event_chain_is_consistent():
+    """Every event waited on by some task must be set by another."""
+    workload = make("sp")
+    allocate(workload, 4)
+    waited, posted = set(), set()
+    for task_id in range(4):
+        for operation in ops_of(workload, task_id, 4):
+            if isinstance(operation, op.EventWait):
+                waited.add(operation.eid)
+            elif isinstance(operation, op.EventSet):
+                posted.add(operation.eid)
+    assert waited <= posted
+
+
+def test_mg_levels_shrink():
+    workload = make("mg")
+    allocate(workload, 2)
+    dims = [g.shape[0] for g in workload.grids]
+    assert dims == sorted(dims, reverse=True)
+    assert all(d >= 2 for d in dims)
+
+
+def test_dynsched_divergent_a_stream_is_longer():
+    workload = make("dynsched") if "dynsched" in REGISTRY else None
+    from repro.workloads.dynsched import DynSched
+    workload = DynSched(divergent=True)
+    allocate(workload, 2)
+    r_ops = ops_of(workload, 0, 2, role=ROLE_R)
+    a_ops = ops_of(workload, 0, 2, role=ROLE_A)
+    assert len(a_ops) > len(r_ops)
