@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""Performance snapshot for the experiment runner: BENCH_runner.json.
+
+Times a fixed small figure subset (Figure 1 over a couple of benchmarks
+and CMP counts) in four configurations —
+
+* cold cache, serial (``jobs=1``),
+* cold cache, parallel (``--jobs``, default 4),
+* warm cache (must execute zero simulations),
+
+plus a single-run engine microbenchmark
+(``run_mode("ocean", scaled_config(4), "slipstream")``), and writes the
+measurements to ``BENCH_runner.json`` so future changes have a perf
+trajectory to compare against.
+
+Run:  PYTHONPATH=src python scripts/bench_snapshot.py [--jobs 4]
+"""
+
+import argparse
+import json
+import os
+import platform
+import tempfile
+import time
+from pathlib import Path
+
+from repro.config import scaled_config
+from repro.experiments import figures
+from repro.experiments.cache import ResultCache
+from repro.experiments.driver import run_mode
+from repro.experiments.runner import Runner
+from repro.workloads import make
+
+#: the fixed subset every snapshot times (small enough for CI, big
+#: enough to contain real parallelism: 8 independent simulations)
+FIG1_WORKLOADS = ("sor", "ocean")
+FIG1_CMPS = (2, 4)
+
+MICRO_WORKLOAD, MICRO_CMPS, MICRO_MODE = "ocean", 4, "slipstream"
+
+
+def time_fig1(jobs: int, cache_dir: Path) -> dict:
+    """Run the Figure 1 subset through a fresh Runner; returns timings."""
+    runner = Runner(jobs=jobs, cache=ResultCache(cache_dir))
+    previous = figures.set_runner(runner)
+    started = time.perf_counter()
+    try:
+        data = figures.figure1(FIG1_WORKLOADS, FIG1_CMPS)
+    finally:
+        figures.set_runner(previous)
+    wall = time.perf_counter() - started
+    stats = runner.total_stats
+    return {
+        "wall_seconds": round(wall, 3),
+        "simulated": stats.executed,
+        "cache_hits": stats.cache_hits,
+        "serial_equivalent_seconds": round(stats.serial_seconds, 3),
+        "checksum": round(sum(v for per_n in data.values()
+                              for v in per_n.values()), 6),
+    }
+
+
+def time_micro(repeats: int = 3) -> dict:
+    """Best-of-N wall time of one slipstream simulation (the engine
+    hot-path microbenchmark the __slots__/heapq changes target)."""
+    times = []
+    cycles = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = run_mode(make(MICRO_WORKLOAD), scaled_config(MICRO_CMPS),
+                          MICRO_MODE)
+        times.append(time.perf_counter() - started)
+        cycles = result.exec_cycles
+    return {
+        "label": f"{MICRO_WORKLOAD}@{MICRO_CMPS}/{MICRO_MODE}",
+        "best_seconds": round(min(times), 3),
+        "median_seconds": round(sorted(times)[len(times) // 2], 3),
+        "exec_cycles": cycles,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="worker count for the parallel leg (default 4)")
+    parser.add_argument("-o", "--output", default="BENCH_runner.json")
+    parser.add_argument("--skip-micro", action="store_true",
+                        help="skip the single-run engine microbenchmark")
+    args = parser.parse_args()
+
+    snapshot = {
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "subset": {"figure": "fig1", "workloads": list(FIG1_WORKLOADS),
+                   "cmps": list(FIG1_CMPS)},
+        "jobs": args.jobs,
+    }
+
+    with tempfile.TemporaryDirectory(prefix="bench-cache-") as tmp:
+        tmp = Path(tmp)
+        print(f"[1/4] fig1 subset, cold cache, serial ...", flush=True)
+        snapshot["cold_serial"] = time_fig1(jobs=1, cache_dir=tmp / "serial")
+        print(f"[2/4] fig1 subset, cold cache, jobs={args.jobs} ...",
+              flush=True)
+        snapshot["cold_parallel"] = time_fig1(jobs=args.jobs,
+                                              cache_dir=tmp / "parallel")
+        print(f"[3/4] fig1 subset, warm cache ...", flush=True)
+        snapshot["warm"] = time_fig1(jobs=args.jobs,
+                                     cache_dir=tmp / "parallel")
+
+    assert snapshot["warm"]["simulated"] == 0, \
+        "warm cache should execute zero simulations"
+    assert snapshot["cold_serial"]["checksum"] == \
+        snapshot["cold_parallel"]["checksum"] == \
+        snapshot["warm"]["checksum"], "results must not depend on execution path"
+
+    snapshot["parallel_speedup"] = round(
+        snapshot["cold_serial"]["wall_seconds"]
+        / snapshot["cold_parallel"]["wall_seconds"], 3)
+    snapshot["warm_speedup"] = round(
+        snapshot["cold_serial"]["wall_seconds"]
+        / max(snapshot["warm"]["wall_seconds"], 1e-9), 1)
+
+    if not args.skip_micro:
+        print("[4/4] engine microbenchmark ...", flush=True)
+        snapshot["engine_micro"] = time_micro()
+
+    Path(args.output).write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(f"wrote {args.output}:")
+    print(f"  cold serial   {snapshot['cold_serial']['wall_seconds']:8.2f}s")
+    print(f"  cold jobs={args.jobs}   "
+          f"{snapshot['cold_parallel']['wall_seconds']:8.2f}s "
+          f"({snapshot['parallel_speedup']:.2f}x)")
+    print(f"  warm cache    {snapshot['warm']['wall_seconds']:8.2f}s "
+          f"({snapshot['warm']['simulated']} simulations)")
+
+
+if __name__ == "__main__":
+    main()

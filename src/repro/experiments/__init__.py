@@ -4,12 +4,19 @@
   combination and collect a :class:`~repro.experiments.driver.RunResult`.
 * :mod:`repro.experiments.figures` — one function per table/figure of the
   paper's evaluation (see DESIGN.md's per-experiment index).
+* :mod:`repro.experiments.runner` — declarative :class:`RunSpec`\\ s,
+  batch execution with deduplication and a process pool.
+* :mod:`repro.experiments.cache` — content-addressed on-disk result
+  cache shared by every figure, sweep, and CLI invocation.
 """
 
 from repro.experiments.driver import (MODES, RunResult, run_mode,
                                       sequential_baseline)
 from repro.experiments.claims import CLAIMS, check_all
+from repro.experiments.runner import Runner, RunSpec, run_batch
+from repro.experiments.cache import ResultCache
 from repro.experiments.sensitivity import slipstream_benefit, sweep
 
-__all__ = ["CLAIMS", "MODES", "RunResult", "check_all", "run_mode",
+__all__ = ["CLAIMS", "MODES", "ResultCache", "RunResult", "RunSpec",
+           "Runner", "check_all", "run_batch", "run_mode",
            "sequential_baseline", "slipstream_benefit", "sweep"]

@@ -5,8 +5,16 @@ Examples::
     python -m repro.experiments table1
     python -m repro.experiments fig1 --cmps 2 4 8 16
     python -m repro.experiments fig5 --workloads sor ocean --cmps 8 16
-    python -m repro.experiments fig10
-    python -m repro.experiments all        # everything (slow)
+    python -m repro.experiments fig10 --jobs 8
+    python -m repro.experiments all --jobs 8   # everything, in parallel
+
+Execution control: ``--jobs N`` fans independent simulations out over N
+worker processes; results are cached on disk (``--cache-dir``, default
+``.repro-cache``) keyed by a content hash of the run spec + machine
+config, so re-running any figure — or a figure that shares runs with an
+earlier one — skips the simulations entirely.  ``--no-cache`` disables
+the disk cache.  A cache/parallelism summary goes to stderr; stdout
+stays byte-identical to a serial, uncached run.
 """
 
 from __future__ import annotations
@@ -16,6 +24,8 @@ import json
 import sys
 
 from repro.experiments import figures
+from repro.experiments.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.experiments.runner import Runner
 from repro.stats.report import bar_chart, series_table
 from repro.workloads import PAPER_ORDER
 
@@ -66,6 +76,14 @@ def main(argv=None) -> int:
                         help="CMP counts for the sweep figures")
     parser.add_argument("--json", action="store_true",
                         help="emit raw JSON instead of a text table")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for independent simulations "
+                             "(default: 1, serial)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk result cache")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        help=f"result-cache directory "
+                             f"(default: {DEFAULT_CACHE_DIR})")
     args = parser.parse_args(argv)
 
     workloads = tuple(args.workloads) if args.workloads else PAPER_ORDER
@@ -84,6 +102,20 @@ def main(argv=None) -> int:
             print(result)
         return 0 if all(r.passed for r in results) else 1
 
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    runner = Runner(jobs=args.jobs, cache=cache)
+    previous_runner = figures.set_runner(runner)
+    try:
+        return _run_experiments(args, workloads, cmps)
+    finally:
+        stats = runner.total_stats
+        if stats.total:
+            print(f"[runner] {stats.summary()}", file=sys.stderr)
+        figures.set_runner(previous_runner)
+
+
+def _run_experiments(args, workloads, cmps) -> int:
+    """Dispatch the simulation-backed experiments (runner installed)."""
     if args.experiment == "sensitivity":
         from repro.experiments.sensitivity import sweep
         name = args.workloads[0] if args.workloads else "ocean"

@@ -1,0 +1,125 @@
+"""Content-addressed on-disk cache for simulation results.
+
+Every simulation in this repository is deterministic: a
+:class:`~repro.experiments.runner.RunSpec` plus the resolved
+:class:`~repro.config.MachineConfig` fully determine the
+:class:`~repro.experiments.driver.RunResult`.  That makes results
+memoizable — the cache key is a SHA-256 over
+
+* the JSON-able content of the spec,
+* the resolved machine configuration (``dataclasses.asdict``),
+* a cache-format version (bumped when the serialized
+  :class:`RunResult` layout changes), and
+* a fingerprint of the simulator's own source tree, so editing any
+  ``repro``  module silently invalidates every cached result instead of
+  serving numbers a different simulator produced.
+
+Results are stored one JSON file per key (``<key>.json``) under the
+cache root; writes go through a temp file + :func:`os.replace` so
+concurrent pool workers never observe a half-written entry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from functools import lru_cache
+from pathlib import Path
+from typing import Optional
+
+from repro.experiments.driver import RunResult
+
+#: bump when the serialized RunResult layout (or key payload) changes
+CACHE_FORMAT_VERSION = 1
+
+#: default cache location (overridable via the environment or --cache-dir)
+DEFAULT_CACHE_DIR = os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
+
+
+@lru_cache(maxsize=1)
+def source_fingerprint() -> str:
+    """Hash of every ``repro`` source file (path + contents).
+
+    Stable across processes and machines for the same tree; any edit to
+    the simulator changes it, which changes every cache key.
+    """
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+    return digest.hexdigest()
+
+
+def result_key(spec, config) -> str:
+    """Stable content hash of ``(spec, resolved config, format version,
+    source fingerprint)``; the cache filename stem."""
+    payload = {
+        "format": CACHE_FORMAT_VERSION,
+        "source": source_fingerprint(),
+        "spec": spec.as_dict(),
+        "config": dataclasses.asdict(config),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class ResultCache:
+    """Directory of ``<key>.json`` files mapping cache keys to results.
+
+    ``get`` returns ``None`` (a miss) for absent *or* unreadable entries,
+    so a corrupt file degrades to re-simulation, never to an error.
+    """
+
+    def __init__(self, root: str | Path = DEFAULT_CACHE_DIR):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[RunResult]:
+        try:
+            data = json.loads(self._path(key).read_text())
+            result = RunResult.from_dict(data)
+        except (OSError, ValueError, TypeError, KeyError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: RunResult) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(result.to_dict(), sort_keys=True))
+        os.replace(tmp, path)
+        self.writes += 1
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns the number removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+    def __repr__(self) -> str:
+        return (f"<ResultCache {self.root} entries={len(self)} "
+                f"hits={self.hits} misses={self.misses}>")

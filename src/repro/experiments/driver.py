@@ -18,6 +18,7 @@ Extension flags (all off by default; see DESIGN.md section 4b):
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -79,6 +80,10 @@ class RunResult:
     #: pattern-forwarding statistics (forwarding=True runs)
     forwarded_prefetches: int = 0
     pattern_lines_recorded: int = 0
+    #: wall-clock seconds the simulation took (set by the experiment
+    #: runner; excluded from cache keys, carried through the cache so
+    #: warm runs can still report serial-equivalent time)
+    wall_seconds: float = 0.0
 
     @property
     def mean_task_breakdown(self) -> TimeBreakdown:
@@ -93,6 +98,38 @@ class RunResult:
         if self.mode == SLIPSTREAM:
             suffix = f"[{self.policy}{'+SI' if self.si else ''}]"
         return f"{self.workload}/{self.mode}{suffix}@{self.n_cmps}"
+
+    # ------------------------------------------------------------------
+    # JSON round-trip (used by the result cache and the process pool).
+    # The tracer is deliberately dropped: it holds engine references and
+    # is neither picklable nor meaningful outside the producing process.
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able dict capturing every field except ``tracer``."""
+        data: Dict[str, object] = {}
+        for spec in dataclasses.fields(self):
+            if spec.name == "tracer":
+                continue
+            data[spec.name] = getattr(self, spec.name)
+        data["task_breakdowns"] = [b.as_dict() for b in self.task_breakdowns]
+        data["astream_breakdowns"] = [b.as_dict()
+                                      for b in self.astream_breakdowns]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunResult":
+        """Inverse of :meth:`to_dict`; tolerant of JSON's string keys."""
+        known = {spec.name for spec in dataclasses.fields(cls)}
+        fields_in = {k: v for k, v in data.items()
+                     if k in known and k != "tracer"}
+        fields_in["task_breakdowns"] = [
+            TimeBreakdown(**b) for b in fields_in.get("task_breakdowns", [])]
+        fields_in["astream_breakdowns"] = [
+            TimeBreakdown(**b) for b in fields_in.get("astream_breakdowns", [])]
+        final = fields_in.get("final_policies")
+        if final is not None:
+            fields_in["final_policies"] = {int(k): v for k, v in final.items()}
+        return cls(**fields_in)
 
 
 def _task_home(mode: str, n_cmps: int):

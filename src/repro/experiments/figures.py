@@ -1,9 +1,18 @@
 """Regenerate every table and figure of the paper's evaluation.
 
-Each ``figureN()`` function runs the simulations behind the corresponding
-figure and returns plain data (dicts keyed by benchmark); ``render(...)``
-turns any of them into an aligned text table.  ``python -m
-repro.experiments`` drives them from the command line.
+Each ``figureN()`` function *declares* the :class:`RunSpec`\\ s behind the
+corresponding figure, batch-executes them through the module's
+:class:`~repro.experiments.runner.Runner`, then assembles plain data
+(dicts keyed by benchmark) from the results; ``render(...)`` turns any
+of them into an aligned text table.  ``python -m repro.experiments``
+drives them from the command line and can parallelize the batches
+(``--jobs``) and cache results on disk (default; ``--no-cache``).
+
+Because specs are deduplicated by the runner, the shared
+``single``/``double`` baselines are simulated once per (benchmark, CMP
+count) across Figures 1, 5, 6, and 10, and Figure 6's policy sweep
+reuses Figure 5's slipstream runs — within one process via the runner's
+memo, across processes via the on-disk result cache.
 
 Experiment conventions (matching the paper):
 
@@ -21,8 +30,10 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.config import MachineConfig, scaled_config
-from repro.experiments.driver import (DOUBLE, SINGLE, SLIPSTREAM, RunResult,
-                                      run_mode, sequential_baseline)
+from repro.experiments.driver import (DOUBLE, SEQUENTIAL, SINGLE, SLIPSTREAM,
+                                      RunResult, run_mode,
+                                      sequential_baseline)
+from repro.experiments.runner import Runner, RunSpec
 from repro.slipstream.arsync import G0, G1, L0, L1, POLICIES
 from repro.stats.timebreakdown import CATEGORIES as TIME_CATEGORIES
 from repro.workloads import PAPER_ORDER, make
@@ -34,9 +45,40 @@ CMP_COUNTS = (2, 4, 8, 16)
 #: (16 everywhere, 4 for FFT — Section 3.4)
 COMPARISON_CMPS = {name: (4 if name == "fft" else 16) for name in PAPER_ORDER}
 
+#: Figure 9/10 benchmark set: LU and Water-SP are excluded, as in the
+#: paper (their stall time is too small for slipstream to matter).
+SECTION4_WORKLOADS = ("cg", "fft", "mg", "ocean", "sor", "sp", "water-ns")
+
 
 def _config(n_cmps: int) -> MachineConfig:
     return scaled_config(n_cmps)
+
+
+# ----------------------------------------------------------------------
+# Execution context: one shared Runner for all figure functions
+# ----------------------------------------------------------------------
+_runner = Runner()
+
+
+def get_runner() -> Runner:
+    """The Runner all figure functions execute through."""
+    return _runner
+
+
+def set_runner(runner: Runner) -> Runner:
+    """Install a Runner (CLI wiring for --jobs/--cache-dir); returns the
+    previous one so callers can restore it."""
+    global _runner
+    previous, _runner = _runner, runner
+    return previous
+
+
+def _batch(specs: Sequence[RunSpec]) -> List[RunResult]:
+    return _runner.run_batch(specs)
+
+
+def _spec(name: str, n_cmps: int, mode: str, **kwargs) -> RunSpec:
+    return RunSpec(workload=name, mode=mode, n_cmps=n_cmps, **kwargs)
 
 
 # ----------------------------------------------------------------------
@@ -78,52 +120,62 @@ def table2() -> List[Dict[str, str]]:
 def figure1(workloads: Sequence[str] = PAPER_ORDER,
             cmp_counts: Sequence[int] = CMP_COUNTS) -> Dict[str, Dict[int, float]]:
     """Figure 1: speedup of double mode relative to single mode."""
-    results: Dict[str, Dict[int, float]] = {}
-    for name in workloads:
-        results[name] = {}
-        for n in cmp_counts:
-            config = _config(n)
-            single = run_mode(make(name), config, SINGLE).exec_cycles
-            double = run_mode(make(name), config, DOUBLE).exec_cycles
-            results[name][n] = single / double
+    points = [(name, n) for name in workloads for n in cmp_counts]
+    specs = [_spec(name, n, mode)
+             for name, n in points for mode in (SINGLE, DOUBLE)]
+    runs = iter(_batch(specs))
+    results: Dict[str, Dict[int, float]] = {name: {} for name in workloads}
+    for name, n in points:
+        single, double = next(runs), next(runs)
+        results[name][n] = single.exec_cycles / double.exec_cycles
     return results
 
 
 def figure4(workloads: Sequence[str] = PAPER_ORDER,
             cmp_counts: Sequence[int] = CMP_COUNTS) -> Dict[str, Dict[int, float]]:
     """Figure 4: single-mode speedup over sequential execution."""
-    results: Dict[str, Dict[int, float]] = {}
-    for name in workloads:
-        seq = sequential_baseline(make(name), _config(1)).exec_cycles
-        results[name] = {}
-        for n in cmp_counts:
-            single = run_mode(make(name), _config(n), SINGLE).exec_cycles
-            results[name][n] = seq / single
+    specs = [_spec(name, 1, SEQUENTIAL) for name in workloads]
+    specs += [_spec(name, n, SINGLE)
+              for name in workloads for n in cmp_counts]
+    runs = _batch(specs)
+    sequential = {name: run.exec_cycles
+                  for name, run in zip(workloads, runs[:len(workloads)])}
+    results: Dict[str, Dict[int, float]] = {name: {} for name in workloads}
+    for run in runs[len(workloads):]:
+        results[run.workload][run.n_cmps] = (sequential[run.workload]
+                                             / run.exec_cycles)
     return results
 
 
 # ----------------------------------------------------------------------
 # Figure 5: slipstream and double vs single
 # ----------------------------------------------------------------------
+def _fig5_cell_specs(name: str, n_cmps: int) -> List[RunSpec]:
+    """single, double, then one slipstream run per A-R policy."""
+    specs = [_spec(name, n_cmps, SINGLE), _spec(name, n_cmps, DOUBLE)]
+    specs += [_spec(name, n_cmps, SLIPSTREAM, policy=policy.name)
+              for policy in POLICIES]
+    return specs
+
+
 def figure5(workloads: Sequence[str] = PAPER_ORDER,
             cmp_counts: Sequence[int] = CMP_COUNTS
             ) -> Dict[str, Dict[int, Dict[str, float]]]:
     """Figure 5: speedup of slipstream (all four A-R policies) and double
     mode, relative to single mode, per benchmark and CMP count."""
-    results: Dict[str, Dict[int, Dict[str, float]]] = {}
-    for name in workloads:
-        results[name] = {}
-        for n in cmp_counts:
-            config = _config(n)
-            single = run_mode(make(name), config, SINGLE).exec_cycles
-            row = {"single": 1.0}
-            row["double"] = single / run_mode(make(name), config,
-                                              DOUBLE).exec_cycles
-            for policy in POLICIES:
-                slip = run_mode(make(name), config, SLIPSTREAM,
-                                policy=policy).exec_cycles
-                row[policy.name] = single / slip
-            results[name][n] = row
+    points = [(name, n) for name in workloads for n in cmp_counts]
+    specs: List[RunSpec] = []
+    for name, n in points:
+        specs += _fig5_cell_specs(name, n)
+    runs = iter(_batch(specs))
+    results: Dict[str, Dict[int, Dict[str, float]]] = {
+        name: {} for name in workloads}
+    for name, n in points:
+        single = next(runs).exec_cycles
+        row = {"single": 1.0, "double": single / next(runs).exec_cycles}
+        for policy in POLICIES:
+            row[policy.name] = single / next(runs).exec_cycles
+        results[name][n] = row
     return results
 
 
@@ -143,25 +195,29 @@ def figure6(workloads: Sequence[str] = PAPER_ORDER,
     single-mode total, at each benchmark's comparison CMP count.
 
     ``policies`` optionally maps benchmark -> A-R policy name; by default
-    the best prefetch-only policy is found by a mini Figure 5 sweep.
+    the best prefetch-only policy is found by a mini Figure 5 sweep —
+    which deduplicates against Figure 5 itself through the runner's memo
+    and result cache, so a full ``all`` regeneration sweeps once.
     """
-    from repro.slipstream.arsync import policy_by_name
-    results: Dict[str, Dict[str, Dict[str, float]]] = {}
+    specs: List[RunSpec] = []
     for name in workloads:
         n = COMPARISON_CMPS[name]
-        config = _config(n)
-        single = run_mode(make(name), config, SINGLE)
-        double = run_mode(make(name), config, DOUBLE)
+        specs += [_spec(name, n, SINGLE), _spec(name, n, DOUBLE)]
         if policies and name in policies:
-            policy = policy_by_name(policies[name])
+            specs.append(_spec(name, n, SLIPSTREAM, policy=policies[name]))
         else:
-            sweep = {}
-            for candidate in POLICIES:
-                sweep[candidate.name] = single.exec_cycles / run_mode(
-                    make(name), config, SLIPSTREAM,
-                    policy=candidate).exec_cycles
-            policy = policy_by_name(max(sweep, key=sweep.get))
-        slip = run_mode(make(name), config, SLIPSTREAM, policy=policy)
+            specs += [_spec(name, n, SLIPSTREAM, policy=policy.name)
+                      for policy in POLICIES]
+    runs = iter(_batch(specs))
+    results: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for name in workloads:
+        single, double = next(runs), next(runs)
+        if policies and name in policies:
+            slip = next(runs)
+        else:
+            sweep = {policy.name: next(runs) for policy in POLICIES}
+            slip = max(sweep.values(),
+                       key=lambda run: single.exec_cycles / run.exec_cycles)
         base = max(single.mean_task_breakdown.total, 1)
 
         def norm(breakdown) -> Dict[str, float]:
@@ -173,7 +229,7 @@ def figure6(workloads: Sequence[str] = PAPER_ORDER,
             "D": norm(double.mean_task_breakdown),
             "R": norm(slip.mean_task_breakdown),
             "A": norm(slip.mean_astream_breakdown),
-            "policy": policy.name,
+            "policy": slip.policy,
         }
     return results
 
@@ -185,13 +241,15 @@ def figure7(workloads: Sequence[str] = PAPER_ORDER
             ) -> Dict[str, Dict[str, Dict[str, Dict[str, float]]]]:
     """Figure 7: breakdown of shared-data memory requests (reads and
     exclusives) into A/R x Timely/Late/Only, for each A-R policy."""
+    specs = [_spec(name, COMPARISON_CMPS[name], SLIPSTREAM,
+                   policy=policy.name)
+             for name in workloads for policy in POLICIES]
+    runs = iter(_batch(specs))
     results: Dict[str, Dict[str, Dict[str, Dict[str, float]]]] = {}
     for name in workloads:
-        n = COMPARISON_CMPS[name]
-        config = _config(n)
         results[name] = {}
         for policy in POLICIES:
-            run = run_mode(make(name), config, SLIPSTREAM, policy=policy)
+            run = next(runs)
             results[name][policy.name] = {
                 "read": run.read_breakdown,
                 "excl": run.excl_breakdown,
@@ -202,20 +260,14 @@ def figure7(workloads: Sequence[str] = PAPER_ORDER
 # ----------------------------------------------------------------------
 # Figures 9 and 10: transparent loads and self-invalidation
 # ----------------------------------------------------------------------
-def figure9(workloads: Sequence[str] = ("cg", "fft", "mg", "ocean", "sor",
-                                        "sp", "water-ns")
+def figure9(workloads: Sequence[str] = SECTION4_WORKLOADS
             ) -> Dict[str, Dict[str, float]]:
     """Figure 9: fraction of A-stream read requests issued as transparent
-    loads, split into transparent vs upgraded replies (G1, SI enabled).
-
-    LU and Water-SP are excluded, as in the paper (their stall time is too
-    small for slipstream to matter).
-    """
+    loads, split into transparent vs upgraded replies (G1, SI enabled)."""
+    specs = [_spec(name, COMPARISON_CMPS[name], SLIPSTREAM, policy="G1",
+                   si=True) for name in workloads]
     results: Dict[str, Dict[str, float]] = {}
-    for name in workloads:
-        n = COMPARISON_CMPS[name]
-        run = run_mode(make(name), _config(n), SLIPSTREAM, policy=G1,
-                       si=True)
+    for name, run in zip(workloads, _batch(specs)):
         # a_read_requests already counts transparent-kind fetches (they
         # are A read requests); it IS the denominator.
         a_reads = max(run.a_read_requests, 1)
@@ -230,29 +282,31 @@ def figure9(workloads: Sequence[str] = ("cg", "fft", "mg", "ocean", "sor",
     return results
 
 
-def figure10(workloads: Sequence[str] = ("cg", "fft", "mg", "ocean", "sor",
-                                         "sp", "water-ns")
+def figure10(workloads: Sequence[str] = SECTION4_WORKLOADS
              ) -> Dict[str, Dict[str, float]]:
     """Figure 10: slipstream speedup over best(single, double) for three
     configurations — prefetch-only (G1), + transparent loads, and
     + transparent loads + self-invalidation."""
-    results: Dict[str, Dict[str, float]] = {}
+    specs: List[RunSpec] = []
     for name in workloads:
         n = COMPARISON_CMPS[name]
-        config = _config(n)
-        single = run_mode(make(name), config, SINGLE).exec_cycles
-        double = run_mode(make(name), config, DOUBLE).exec_cycles
+        specs += [
+            _spec(name, n, SINGLE),
+            _spec(name, n, DOUBLE),
+            _spec(name, n, SLIPSTREAM, policy="G1"),
+            _spec(name, n, SLIPSTREAM, policy="G1", transparent=True),
+            _spec(name, n, SLIPSTREAM, policy="G1", si=True),
+        ]
+    runs = iter(_batch(specs))
+    results: Dict[str, Dict[str, float]] = {}
+    for name in workloads:
+        single = next(runs).exec_cycles
+        double = next(runs).exec_cycles
         best = min(single, double)
-        prefetch = run_mode(make(name), config, SLIPSTREAM,
-                            policy=G1).exec_cycles
-        with_tl = run_mode(make(name), config, SLIPSTREAM, policy=G1,
-                           transparent=True).exec_cycles
-        with_si = run_mode(make(name), config, SLIPSTREAM, policy=G1,
-                           si=True).exec_cycles
         results[name] = {
-            "prefetch": best / prefetch,
-            "prefetch+tl": best / with_tl,
-            "prefetch+tl+si": best / with_si,
+            "prefetch": best / next(runs).exec_cycles,
+            "prefetch+tl": best / next(runs).exec_cycles,
+            "prefetch+tl+si": best / next(runs).exec_cycles,
             "best_mode": "single" if single <= double else "double",
         }
     return results

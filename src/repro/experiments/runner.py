@@ -1,0 +1,276 @@
+"""Declarative experiment execution: specs, batching, pooling, caching.
+
+The figure/table generators used to call :func:`repro.experiments.driver.
+run_mode` directly, serially, and re-simulated identical points many
+times (the ``single``/``double`` baselines appear in Figures 1, 5, 6,
+and 10; Figure 6's policy sweep repeats Figure 5's).  This module
+separates *what to simulate* from *how to execute it*:
+
+* :class:`RunSpec` — an immutable, hashable, picklable description of
+  one simulation (workload, mode, CMP count, A-R policy, extension
+  flags, config overrides).  Two specs compare equal iff they describe
+  the same simulation, which is what enables deduplication.
+* :class:`Runner` — executes batches of specs with (a) in-batch and
+  in-process deduplication, (b) an optional on-disk
+  :class:`~repro.experiments.cache.ResultCache`, and (c) fan-out of
+  cache misses over a ``ProcessPoolExecutor`` (``jobs > 1``).
+
+Determinism: the simulator is seeded and event ordering is FIFO
+tie-broken, so a spec produces bit-identical ``exec_cycles`` and
+``fabric_stats`` whether it runs serially, in a pool worker, or came
+from the cache (asserted in ``tests/test_runner.py``).
+
+Every run gets a fresh :class:`~repro.config.MachineConfig` built from
+the spec (``resolve_config``), so pooled or interleaved runs can mix
+``n_cmps`` values and overrides without sharing any mutable config
+state (``run_mode`` rewrites ``n_cmps`` for sequential runs).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.config import MachineConfig, scaled_config
+from repro.experiments.driver import MODES, SLIPSTREAM, RunResult, run_mode
+from repro.slipstream.arsync import policy_by_name
+from repro.workloads import make
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Everything needed to reproduce one simulation run.
+
+    ``config_overrides`` is a sorted tuple of ``(field, value)`` pairs
+    applied on top of :func:`repro.config.scaled_config` — tuples (not a
+    dict) keep the spec hashable and its content hash stable.
+    """
+
+    workload: str
+    mode: str
+    n_cmps: int
+    policy: Optional[str] = None
+    transparent: bool = False
+    si: bool = False
+    adaptive: bool = False
+    migratory: bool = False
+    forwarding: bool = False
+    speculative_barriers: bool = False
+    max_cycles: Optional[int] = None
+    config_overrides: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(f"unknown mode {self.mode!r}; choose from {MODES}")
+        # Canonicalize so equal simulations compare equal: slipstream gets
+        # the driver's default policy name; other modes carry no policy,
+        # and implied flags are resolved exactly as run_mode resolves them.
+        if self.mode == SLIPSTREAM:
+            if self.policy is None:
+                object.__setattr__(self, "policy", "G1")
+            policy_by_name(self.policy)  # validate early
+        else:
+            object.__setattr__(self, "policy", None)
+        if self.si:
+            object.__setattr__(self, "transparent", True)
+        if self.speculative_barriers:
+            object.__setattr__(self, "forwarding", True)
+        overrides = tuple(sorted((str(k), v) for k, v in self.config_overrides))
+        object.__setattr__(self, "config_overrides", overrides)
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def resolve_config(self) -> MachineConfig:
+        """A fresh :class:`MachineConfig` for this run.
+
+        A new instance per call: no two runs (pooled or serial) ever see
+        the same config object, so ``run_mode``'s sequential-mode
+        ``n_cmps`` rewrite cannot leak between specs in a batch.
+        """
+        return scaled_config(self.n_cmps, **dict(self.config_overrides))
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-able content (the spec half of the cache key)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def key(self) -> str:
+        """Content-addressed cache key for this spec."""
+        from repro.experiments.cache import result_key
+        return result_key(self, self.resolve_config())
+
+    def label(self) -> str:
+        suffix = ""
+        if self.mode == SLIPSTREAM:
+            flags = "".join(tag for tag, on in (
+                ("+tl", self.transparent and not self.si), ("+si", self.si),
+                ("+ad", self.adaptive), ("+fw", self.forwarding)) if on)
+            suffix = f"[{self.policy}{flags}]"
+        return f"{self.workload}/{self.mode}{suffix}@{self.n_cmps}"
+
+
+def execute_spec(spec: RunSpec) -> RunResult:
+    """Run one spec's simulation (always fresh; no caching here).
+
+    Records the run's wall time on the result so batch statistics can
+    report serial-equivalent time even for cache hits.
+    """
+    config = spec.resolve_config()
+    policy = policy_by_name(spec.policy) if spec.policy else None
+    kwargs = dict(transparent=spec.transparent, si=spec.si,
+                  adaptive=spec.adaptive, migratory=spec.migratory,
+                  forwarding=spec.forwarding,
+                  speculative_barriers=spec.speculative_barriers,
+                  max_cycles=spec.max_cycles)
+    if policy is not None:
+        kwargs["policy"] = policy
+    started = time.perf_counter()
+    result = run_mode(make(spec.workload), config, spec.mode, **kwargs)
+    result.wall_seconds = time.perf_counter() - started
+    return result
+
+
+def _pool_worker(spec: RunSpec) -> Dict[str, Any]:
+    """Pool target: results cross the process boundary as plain dicts
+    (the JSON form — guaranteed picklable, tracer-free)."""
+    return execute_spec(spec).to_dict()
+
+
+@dataclass
+class BatchStats:
+    """What one :meth:`Runner.run_batch` call actually did."""
+
+    total: int = 0           #: specs requested (incl. duplicates)
+    unique: int = 0          #: distinct simulations after dedup
+    memo_hits: int = 0       #: served from this Runner's in-process memo
+    cache_hits: int = 0      #: served from the on-disk result cache
+    executed: int = 0        #: simulations actually run
+    jobs: int = 1            #: worker processes used for the misses
+    serial_seconds: float = 0.0  #: sum of per-run wall times (serial equivalent)
+    wall_seconds: float = 0.0    #: actual elapsed batch time
+
+    @property
+    def speedup(self) -> float:
+        """Serial-equivalent time over actual wall time."""
+        return self.serial_seconds / self.wall_seconds if self.wall_seconds else 0.0
+
+    def merged_with(self, other: "BatchStats") -> "BatchStats":
+        return BatchStats(
+            total=self.total + other.total,
+            unique=self.unique + other.unique,
+            memo_hits=self.memo_hits + other.memo_hits,
+            cache_hits=self.cache_hits + other.cache_hits,
+            executed=self.executed + other.executed,
+            jobs=max(self.jobs, other.jobs),
+            serial_seconds=self.serial_seconds + other.serial_seconds,
+            wall_seconds=self.wall_seconds + other.wall_seconds)
+
+    def summary(self) -> str:
+        return (f"{self.total} runs requested: {self.executed} simulated, "
+                f"{self.cache_hits} from disk cache, {self.memo_hits} "
+                f"memoized, {self.total - self.unique - self.memo_hits} "
+                f"deduplicated in-batch (jobs={self.jobs}); "
+                f"serial-equivalent {self.serial_seconds:.1f}s in "
+                f"{self.wall_seconds:.1f}s wall ({self.speedup:.2f}x)")
+
+
+class Runner:
+    """Batch executor with dedup, memoization, caching, and pooling.
+
+    * in-batch dedup — duplicate specs in one batch simulate once;
+    * in-process memo — results persist across batches for the Runner's
+      lifetime (how Figure 6 reuses Figure 5's sweep inside one
+      ``all`` invocation even with ``--no-cache``);
+    * disk cache — optional :class:`ResultCache`, shared across
+      processes and invocations;
+    * pooling — with ``jobs > 1``, cache misses fan out over a
+      ``ProcessPoolExecutor``.
+    """
+
+    def __init__(self, jobs: int = 1, cache=None, memoize: bool = True):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.cache = cache
+        self.memoize = memoize
+        self._memo: Dict[RunSpec, RunResult] = {}
+        self.last_stats: Optional[BatchStats] = None
+        self.total_stats = BatchStats(jobs=jobs)
+
+    # ------------------------------------------------------------------
+    def run(self, spec: RunSpec) -> RunResult:
+        """Single-spec convenience wrapper around :meth:`run_batch`."""
+        return self.run_batch([spec])[0]
+
+    def run_batch(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+        """Execute all ``specs``; returns results in spec order.
+
+        Duplicate specs share one simulation (and one result object).
+        """
+        started = time.perf_counter()
+        stats = BatchStats(total=len(specs), jobs=self.jobs)
+        results: Dict[RunSpec, RunResult] = {}
+
+        pending: List[RunSpec] = []
+        for spec in specs:
+            if spec in results or spec in pending:
+                continue
+            memoized = self._memo.get(spec)
+            if memoized is not None:
+                results[spec] = memoized
+                stats.memo_hits += 1
+            else:
+                pending.append(spec)
+        stats.unique = len(pending) + stats.memo_hits
+
+        misses: List[RunSpec] = []
+        if self.cache is not None:
+            for spec in pending:
+                cached = self.cache.get(spec.key())
+                if cached is not None:
+                    results[spec] = cached
+                    stats.cache_hits += 1
+                else:
+                    misses.append(spec)
+        else:
+            misses = pending
+
+        if len(misses) > 1 and self.jobs > 1:
+            self._execute_pooled(misses, results)
+        else:
+            for spec in misses:
+                results[spec] = execute_spec(spec)
+        stats.executed = len(misses)
+
+        for spec in misses:
+            if self.cache is not None:
+                self.cache.put(spec.key(), results[spec])
+        if self.memoize:
+            self._memo.update(results)
+
+        stats.serial_seconds = sum(results[s].wall_seconds for s in set(specs))
+        stats.wall_seconds = time.perf_counter() - started
+        self.last_stats = stats
+        self.total_stats = self.total_stats.merged_with(stats)
+        return [results[spec] for spec in specs]
+
+    def _execute_pooled(self, misses: List[RunSpec],
+                        results: Dict[RunSpec, RunResult]) -> None:
+        workers = min(self.jobs, len(misses))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            future_spec = {pool.submit(_pool_worker, spec): spec
+                           for spec in misses}
+            not_done = set(future_spec)
+            while not_done:
+                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                for future in done:
+                    spec = future_spec[future]
+                    results[spec] = RunResult.from_dict(future.result())
+
+
+def run_batch(specs: Sequence[RunSpec], jobs: int = 1,
+              cache=None) -> List[RunResult]:
+    """One-shot batch execution (fresh :class:`Runner`)."""
+    return Runner(jobs=jobs, cache=cache).run_batch(specs)

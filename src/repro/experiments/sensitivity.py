@@ -6,16 +6,24 @@ machine changes — slower memory, a slower network, bigger caches, a
 different SI drain rate.  This module sweeps one parameter at a time and
 reports the slipstream-vs-best-conventional ratio at each point.
 
+Sweeps declare :class:`~repro.experiments.runner.RunSpec`\\ s (the
+parameter under sweep becomes a ``config_overrides`` entry) and execute
+them through the figures module's shared
+:class:`~repro.experiments.runner.Runner`, so ``--jobs`` fans the whole
+sweep out at once and the result cache applies.
+
 Used by ``python -m repro.experiments`` (``sensitivity`` subcommand) and
 ``benchmarks/bench_sensitivity.py``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.config import MachineConfig, scaled_config
-from repro.experiments.driver import run_mode
+from repro.experiments import figures
+from repro.experiments.driver import DOUBLE, SINGLE, SLIPSTREAM, run_mode
+from repro.experiments.runner import RunSpec
 from repro.slipstream.arsync import ARSyncPolicy, G1
 from repro.workloads import make
 
@@ -41,6 +49,19 @@ def slipstream_benefit(workload_name: str, config: MachineConfig,
     return min(single, double) / slip
 
 
+def _benefit_specs(workload_name: str, n_cmps: int, policy: ARSyncPolicy,
+                   si: bool, overrides: Dict[str, int]) -> List[RunSpec]:
+    """single, double, slipstream — the three runs behind one sweep point."""
+    config_overrides = tuple(sorted(overrides.items()))
+    common = dict(workload=workload_name, n_cmps=n_cmps,
+                  config_overrides=config_overrides)
+    return [
+        RunSpec(mode=SINGLE, **common),
+        RunSpec(mode=DOUBLE, **common),
+        RunSpec(mode=SLIPSTREAM, policy=policy.name, si=si, **common),
+    ]
+
+
 def sweep(parameter: str, values: Optional[Iterable[int]] = None,
           workload_name: str = "ocean", n_cmps: int = 8,
           policy: ARSyncPolicy = G1, si: bool = False
@@ -60,11 +81,18 @@ def sweep(parameter: str, values: Optional[Iterable[int]] = None,
                 f"choose from {sorted(DEFAULT_SWEEPS)}") from None
     if parameter == "si_drain_interval":
         si = True
+    values = list(values)
+    specs: List[RunSpec] = []
+    for value in values:
+        specs += _benefit_specs(workload_name, n_cmps, policy, si,
+                                {parameter: value})
+    runs = iter(figures.get_runner().run_batch(specs))
     results: Dict[int, float] = {}
     for value in values:
-        config = scaled_config(n_cmps, **{parameter: value})
-        results[value] = slipstream_benefit(workload_name, config,
-                                            policy=policy, si=si)
+        single = next(runs).exec_cycles
+        double = next(runs).exec_cycles
+        slip = next(runs).exec_cycles
+        results[value] = min(single, double) / slip
     return results
 
 

@@ -70,6 +70,10 @@ class Cache:
     deterministically-seeded random policy.
     """
 
+    __slots__ = ("size", "assoc", "line_size", "name", "policy", "n_sets",
+                 "on_evict", "_rng", "_sets", "_stamp", "hits", "misses",
+                 "evictions", "invalidations_received")
+
     def __init__(self, size: int, assoc: int, line_size: int,
                  name: str = "cache",
                  on_evict: Optional[Callable[[CacheLine], None]] = None,

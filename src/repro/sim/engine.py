@@ -12,6 +12,11 @@ from __future__ import annotations
 import heapq
 from typing import Callable, List, Optional, Tuple
 
+# Bound once at module level: schedule/run are the simulator's hottest
+# paths, and a local/global name beats an attribute lookup per event.
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
 
 class DeadlockError(RuntimeError):
     """Raised when the event heap drains while processes are still blocked.
@@ -53,14 +58,14 @@ class Engine:
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
         self._seq += 1
-        heapq.heappush(self._heap, (self.now + int(delay), self._seq, callback))
+        _heappush(self._heap, (self.now + int(delay), self._seq, callback))
 
     def schedule_at(self, when: int, callback: Callable[[], None]) -> None:
         """Run ``callback`` at absolute cycle ``when`` (>= now)."""
         if when < self.now:
             raise ValueError(f"cannot schedule in the past: {when} < {self.now}")
         self._seq += 1
-        heapq.heappush(self._heap, (int(when), self._seq, callback))
+        _heappush(self._heap, (int(when), self._seq, callback))
 
     # ------------------------------------------------------------------
     # Execution
@@ -69,7 +74,7 @@ class Engine:
         """Pop and run the next callback.  Returns False if the heap is empty."""
         if not self._heap:
             return False
-        when, _seq, callback = heapq.heappop(self._heap)
+        when, _seq, callback = _heappop(self._heap)
         self.now = when
         callback()
         return True
@@ -81,13 +86,19 @@ class Engine:
         processes are still alive and ``check_deadlock`` is set, raises
         :class:`DeadlockError`.
         """
+        # The event loop is the single hottest loop in the repository, so
+        # step() is inlined here with heap/heappop bound to locals.
+        heap = self._heap
+        heappop = _heappop
         self._running = True
         try:
-            while self._heap:
-                if until is not None and self._heap[0][0] > until:
+            while heap:
+                if until is not None and heap[0][0] > until:
                     self.now = max(self.now, until)
                     return self.now
-                self.step()
+                when, _seq, callback = heappop(heap)
+                self.now = when
+                callback()
         finally:
             self._running = False
         if check_deadlock and self._live_processes:

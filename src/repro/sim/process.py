@@ -43,6 +43,9 @@ class Process:
     resumed.
     """
 
+    __slots__ = ("pid", "engine", "name", "_gen", "done", "result",
+                 "error", "_joiners", "_killed")
+
     _next_id = 0
 
     def __init__(self, engine: Engine, gen: Generator, name: Optional[str] = None):

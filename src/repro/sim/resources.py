@@ -81,6 +81,8 @@ class SimSemaphore:
     location supporting atomic read-modify-write.
     """
 
+    __slots__ = ("engine", "count", "_waiters")
+
     def __init__(self, engine: Engine, initial: int = 0):
         if initial < 0:
             raise ValueError("semaphore count cannot be negative")
@@ -163,6 +165,9 @@ class Resource:
     *start*, so a run truncated mid-service reports the full service time
     (irrelevant for runs driven to completion, which is all of ours).
     """
+
+    __slots__ = ("engine", "name", "_queue", "_busy", "total_jobs",
+                 "busy_cycles", "total_queue_cycles")
 
     def __init__(self, engine: Engine, name: str = "resource"):
         self.engine = engine
