@@ -1,0 +1,22 @@
+"""Pluggable invariant sanitizer (see docs/architecture.md §8).
+
+Enable with ``MachineConfig(check=True)``, ``System(..., check=True)``,
+or ``--check`` on the experiments CLI.  When disabled (the default) every
+hook site in the simulator is a single ``is None`` test and simulation
+output is bit-identical to a build without this package.
+"""
+
+from repro.check.predicates import (directory_entry_errors,
+                                    token_accounting_errors,
+                                    token_lead_bound, token_lead_errors)
+from repro.check.suite import CheckerSuite
+from repro.check.violation import InvariantViolation
+
+__all__ = [
+    "CheckerSuite",
+    "InvariantViolation",
+    "directory_entry_errors",
+    "token_accounting_errors",
+    "token_lead_bound",
+    "token_lead_errors",
+]

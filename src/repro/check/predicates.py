@@ -1,0 +1,107 @@
+"""Pure invariant predicates.
+
+These functions state the machine's invariants as plain data checks with
+no engine or wiring dependencies.  :class:`~repro.check.suite.CheckerSuite`
+calls them at runtime hook points; the Hypothesis property tests use the
+very same functions as oracles over generated transition sequences, so
+the sanitizer and the property suite can never drift apart.
+
+Every predicate returns a list of human-readable error strings (empty =
+invariant holds) rather than raising, so callers decide how to report.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.memory.directory import EXCLUSIVE, SHARED, UNCACHED, DirectoryEntry
+from repro.slipstream.arsync import ARSyncPolicy
+
+
+# ----------------------------------------------------------------------
+# Directory entry structure
+# ----------------------------------------------------------------------
+def directory_entry_errors(entry: DirectoryEntry,
+                           n_nodes: Optional[int] = None) -> List[str]:
+    """Structural invariants of a single directory entry.
+
+    * EXCLUSIVE: exactly one owner, no sharers.
+    * SHARED: no owner, at least one sharer.
+    * UNCACHED: no owner, no sharers.
+    * All recorded node ids lie inside the machine (when ``n_nodes`` given).
+    """
+    errors: List[str] = []
+    if entry.state == EXCLUSIVE:
+        if entry.owner is None:
+            errors.append("EXCLUSIVE entry has no owner")
+        if entry.sharers:
+            errors.append(f"EXCLUSIVE entry has sharers {sorted(entry.sharers)}")
+    elif entry.state == SHARED:
+        if entry.owner is not None:
+            errors.append(f"SHARED entry has owner {entry.owner}")
+        if not entry.sharers:
+            errors.append("SHARED entry has an empty sharer list")
+    elif entry.state == UNCACHED:
+        if entry.owner is not None:
+            errors.append(f"UNCACHED entry has owner {entry.owner}")
+        if entry.sharers:
+            errors.append(f"UNCACHED entry has sharers {sorted(entry.sharers)}")
+    else:
+        errors.append(f"unknown directory state {entry.state!r}")
+    if n_nodes is not None:
+        for name, nodes in (("sharer", entry.sharers),
+                            ("future-sharer", entry.future_sharers)):
+            bad = [node for node in nodes
+                   if not 0 <= node < n_nodes]
+            if bad:
+                errors.append(f"{name} ids {bad} outside 0..{n_nodes - 1}")
+        if entry.owner is not None and not 0 <= entry.owner < n_nodes:
+            errors.append(f"owner {entry.owner} outside 0..{n_nodes - 1}")
+    return errors
+
+
+# ----------------------------------------------------------------------
+# A-R token bucket (Figure 3)
+# ----------------------------------------------------------------------
+def token_lead_bound(policy: ARSyncPolicy) -> int:
+    """Maximum sessions the A-stream may lead its R-stream under ``policy``.
+
+    Tokens enter the bucket once per R-stream synchronization — at routine
+    *entry* for local policies (before ``r_session`` increments at exit) or
+    at *exit* for global ones — so the A-stream's session lead can reach
+    ``initial_tokens`` plus one extra for local policies (the token granted
+    while the R-stream is still inside the routine).
+    """
+    return policy.initial_tokens + (1 if policy.inserts_on_entry else 0)
+
+
+def token_accounting_errors(policy: ARSyncPolicy, inserted: int,
+                            consumed: int, count: int) -> List[str]:
+    """Conservation of tokens: every token is either still in the bucket
+    or was consumed exactly once; the bucket never goes negative and
+    never holds more than was ever put in."""
+    errors: List[str] = []
+    if count < 0:
+        errors.append(f"token count is negative ({count})")
+    if consumed > policy.initial_tokens + inserted:
+        errors.append(
+            f"consumed {consumed} tokens but only "
+            f"{policy.initial_tokens} + {inserted} ever existed")
+    expected = policy.initial_tokens + inserted - consumed
+    if count != expected:
+        errors.append(
+            f"token count {count} != initial {policy.initial_tokens} "
+            f"+ inserted {inserted} - consumed {consumed} = {expected}")
+    return errors
+
+
+def token_lead_errors(policy: ARSyncPolicy, a_session: int,
+                      r_session: int) -> List[str]:
+    """The A-stream's session lead never exceeds the policy's bucket
+    depth (checked when the A-stream enters a session)."""
+    lead = a_session - r_session
+    bound = token_lead_bound(policy)
+    if lead > bound:
+        return [f"A-stream leads by {lead} sessions under {policy.name} "
+                f"(bound {bound})"]
+    return []

@@ -99,6 +99,10 @@ class MachineConfig:
     # Derived / misc
     # ------------------------------------------------------------------
     seed: int = 12345
+    #: enable the runtime invariant sanitizer (repro.check).  Off by
+    #: default: checking observes every directory transaction and costs
+    #: real wall-clock time, but never changes simulated timing.
+    check: bool = False
 
     def __post_init__(self) -> None:
         if self.n_cmps < 1:

@@ -64,7 +64,7 @@ def main(argv=None) -> int:
     parser.add_argument("experiment",
                         choices=["table1", "table2", "fig1", "fig4", "fig5",
                                  "fig6", "fig7", "fig9", "fig10",
-                                 "sensitivity", "claims", "all"])
+                                 "sensitivity", "claims", "fuzz", "all"])
     parser.add_argument("--parameter", default="net_time",
                         help="machine parameter for the sensitivity sweep")
     parser.add_argument("--results", default="results_raw.json",
@@ -79,6 +79,12 @@ def main(argv=None) -> int:
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for independent simulations "
                              "(default: 1, serial)")
+    parser.add_argument("--check", action="store_true",
+                        help="run every simulation with the repro.check "
+                             "invariant sanitizer enabled (slower; never "
+                             "changes simulated timing)")
+    parser.add_argument("--seed", type=int, default=2003,
+                        help="fuzz-workload seed (fuzz experiment only)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the on-disk result cache")
     parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
@@ -102,8 +108,12 @@ def main(argv=None) -> int:
             print(result)
         return 0 if all(r.passed for r in results) else 1
 
+    if args.experiment == "fuzz":
+        return _run_fuzz(args)
+
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    runner = Runner(jobs=args.jobs, cache=cache)
+    runner = Runner(jobs=args.jobs, cache=cache,
+                    config_overrides={"check": True} if args.check else None)
     previous_runner = figures.set_runner(runner)
     try:
         return _run_experiments(args, workloads, cmps)
@@ -112,6 +122,49 @@ def main(argv=None) -> int:
         if stats.total:
             print(f"[runner] {stats.summary()}", file=sys.stderr)
         figures.set_runner(previous_runner)
+
+
+def _run_fuzz(args) -> int:
+    """Seeded random-workload sanitizer sweep.
+
+    Runs the ``fuzz`` workload under every execution mode (slipstream
+    with all four A-R policies, transparent loads + self-invalidation on)
+    with the invariant checkers enabled.  A violation raises; a clean
+    exit means every checked invariant held for this seed.  The printed
+    fingerprint identifies the exact op stream, so a failing seed can be
+    reproduced bit-for-bit.
+    """
+    from repro.config import scaled_config
+    from repro.experiments.driver import run_mode
+    from repro.slipstream.arsync import POLICIES
+    from repro.workloads.fuzz import Fuzz
+
+    n_cmps = args.cmps[-1] if args.cmps else 4
+    fingerprint = Fuzz(seed=args.seed).fingerprint(n_tasks=n_cmps)
+    runs = [("single", None), ("double", None)]
+    runs += [("slipstream", policy) for policy in POLICIES]
+    rows = {}
+    for mode, policy in runs:
+        config = scaled_config(n_cmps, check=True)
+        kwargs = {}
+        label = mode
+        if policy is not None:
+            kwargs = dict(policy=policy, transparent=True, si=True)
+            label = f"slipstream[{policy.name}+si]"
+        result = run_mode(Fuzz(seed=args.seed), config, mode, **kwargs)
+        rows[label] = {
+            "cycles": result.exec_cycles,
+            "checks_fired": sum((result.check_stats or {}).values()),
+        }
+    if args.json:
+        print(json.dumps({"seed": args.seed, "n_cmps": n_cmps,
+                          "fingerprint": fingerprint, "runs": rows},
+                         indent=2))
+    else:
+        print(figures.render(
+            rows, title=f"Fuzz sweep: seed={args.seed}, {n_cmps} CMPs, "
+                        f"op-stream {fingerprint[:16]} — no violations"))
+    return 0
 
 
 def _run_experiments(args, workloads, cmps) -> int:

@@ -32,7 +32,7 @@ from typing import Optional
 from repro.experiments.driver import RunResult
 
 #: bump when the serialized RunResult layout (or key payload) changes
-CACHE_FORMAT_VERSION = 1
+CACHE_FORMAT_VERSION = 2
 
 #: default cache location (overridable via the environment or --cache-dir)
 DEFAULT_CACHE_DIR = os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
@@ -89,7 +89,10 @@ class ResultCache:
         try:
             data = json.loads(self._path(key).read_text())
             result = RunResult.from_dict(data)
-        except (OSError, ValueError, TypeError, KeyError):
+        except (OSError, ValueError, TypeError, KeyError, AttributeError):
+            # AttributeError: valid JSON that is not an object (e.g. a
+            # truncated-then-rewritten list) reaches from_dict, which
+            # calls .items() on it.
             self.misses += 1
             return None
         self.hits += 1

@@ -80,6 +80,11 @@ class RunResult:
     #: pattern-forwarding statistics (forwarding=True runs)
     forwarded_prefetches: int = 0
     pattern_lines_recorded: int = 0
+    #: machine-wide cache hit/miss totals (all modes; used by the golden
+    #: end-state regression tests)
+    cache_totals: Dict[str, int] = field(default_factory=dict)
+    #: invariant-checker fire counts per check (check=True runs only)
+    check_stats: Optional[Dict[str, int]] = None
     #: wall-clock seconds the simulation took (set by the experiment
     #: runner; excluded from cache keys, carried through the cache so
     #: warm runs can still report serial-equivalent time)
@@ -148,13 +153,16 @@ def run_mode(workload, config: MachineConfig, mode: str,
              si: bool = False, trace: bool = False,
              adaptive: bool = False, migratory: bool = False,
              forwarding: bool = False, speculative_barriers: bool = False,
-             max_cycles: Optional[int] = None) -> RunResult:
+             max_cycles: Optional[int] = None,
+             check: bool = False) -> RunResult:
     """Simulate ``workload`` under ``mode`` on a machine built from
     ``config``; returns the collected :class:`RunResult`.
 
     ``transparent`` enables A-stream transparent loads (Section 4.1);
     ``si`` additionally enables self-invalidation hints and the sync-point
-    drain (Section 4.2) and implies ``transparent``.
+    drain (Section 4.2) and implies ``transparent``.  ``check`` (or
+    ``config.check``) runs the machine under the invariant sanitizer
+    (repro.check); a broken invariant raises ``InvariantViolation``.
     """
     if mode not in MODES:
         raise ValueError(f"unknown mode {mode!r}; choose from {MODES}")
@@ -164,7 +172,8 @@ def run_mode(workload, config: MachineConfig, mode: str,
         config = config.with_overrides(n_cmps=1)
 
     slip = mode == SLIPSTREAM
-    system = System(config, classify_requests=slip, trace=trace)
+    system = System(config, classify_requests=slip, trace=trace,
+                    check=check or config.check)
     system.fabric.si_enabled = si
     system.fabric.migratory_enabled = migratory
     n_cmps = config.n_cmps
@@ -294,6 +303,16 @@ def run_mode(workload, config: MachineConfig, mode: str,
     fabric = system.fabric
     if trace:
         result.tracer = system.tracer
+    result.cache_totals = {
+        "l1_hits": sum(l1.hits for n in system.nodes for l1 in n.ctrl.l1s),
+        "l1_misses": sum(l1.misses for n in system.nodes
+                         for l1 in n.ctrl.l1s),
+        "l2_hits": sum(n.ctrl.l2.hits for n in system.nodes),
+        "l2_misses": sum(n.ctrl.l2.misses for n in system.nodes),
+        "l2_evictions": sum(n.ctrl.l2.evictions for n in system.nodes),
+    }
+    if system.checker is not None:
+        result.check_stats = system.checker.stats()
     result.fabric_stats = {
         "transactions": fabric.transactions,
         "interventions": fabric.interventions,

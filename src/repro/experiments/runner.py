@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, field, fields, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import MachineConfig, scaled_config
@@ -109,6 +109,14 @@ class RunSpec:
                 ("+ad", self.adaptive), ("+fw", self.forwarding)) if on)
             suffix = f"[{self.policy}{flags}]"
         return f"{self.workload}/{self.mode}{suffix}@{self.n_cmps}"
+
+    def with_config_overrides(self, **overrides) -> "RunSpec":
+        """A copy with ``overrides`` merged into ``config_overrides``
+        (new values win).  Used by the Runner to push run-wide settings
+        — e.g. ``--check`` — into every spec of a batch."""
+        merged = dict(self.config_overrides)
+        merged.update(overrides)
+        return replace(self, config_overrides=tuple(sorted(merged.items())))
 
 
 def execute_spec(spec: RunSpec) -> RunResult:
@@ -189,12 +197,18 @@ class Runner:
       ``ProcessPoolExecutor``.
     """
 
-    def __init__(self, jobs: int = 1, cache=None, memoize: bool = True):
+    def __init__(self, jobs: int = 1, cache=None, memoize: bool = True,
+                 config_overrides: Optional[Dict[str, Any]] = None):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs
         self.cache = cache
         self.memoize = memoize
+        #: machine-config fields forced onto every spec this Runner
+        #: executes (e.g. ``{"check": True}`` for sanitized runs).  They
+        #: participate in spec identity, so checked and unchecked results
+        #: never alias in the memo or the disk cache.
+        self.config_overrides = dict(config_overrides or {})
         self._memo: Dict[RunSpec, RunResult] = {}
         self.last_stats: Optional[BatchStats] = None
         self.total_stats = BatchStats(jobs=jobs)
@@ -210,6 +224,9 @@ class Runner:
         Duplicate specs share one simulation (and one result object).
         """
         started = time.perf_counter()
+        if self.config_overrides:
+            specs = [spec.with_config_overrides(**self.config_overrides)
+                     for spec in specs]
         stats = BatchStats(total=len(specs), jobs=self.jobs)
         results: Dict[RunSpec, RunResult] = {}
 

@@ -22,12 +22,30 @@ class System:
     """An ``n_cmps``-node CMP-based DSM multiprocessor."""
 
     def __init__(self, config: MachineConfig,
-                 classify_requests: bool = True, trace: bool = False):
+                 classify_requests: bool = True, trace: bool = False,
+                 check: Optional[bool] = None):
         self.config = config
         self.engine = Engine()
+        if check is None:
+            check = config.check
         #: event tracer shared by the fabric and node controllers; a
-        #: do-nothing singleton unless ``trace`` is requested
-        self.tracer = Tracer(self.engine) if trace else NULL_TRACER
+        #: do-nothing singleton unless ``trace`` is requested.  Checked
+        #: runs keep a small ring of recent events so an
+        #: InvariantViolation can carry context even without full tracing.
+        if trace:
+            self.tracer = Tracer(self.engine)
+        elif check:
+            self.tracer = Tracer(self.engine, capacity=256)
+        else:
+            self.tracer = NULL_TRACER
+        #: invariant-checker suite (repro.check); installed on the engine
+        #: *before* the fabric and nodes are built, which is where they
+        #: pick up their checker references
+        self.checker = None
+        if check:
+            from repro.check import CheckerSuite
+            self.checker = CheckerSuite(self.engine, tracer=self.tracer)
+            self.engine.install_checker(self.checker)
         self.space = AddressSpace(config.n_cmps, config.line_size,
                                   config.page_size)
         self.allocator = SharedAllocator(self.space)

@@ -83,6 +83,11 @@ class L2Controller:
         self._si_pending: Set[int] = set()
         self._si_drainer: Optional[Process] = None
         self.tracer = fabric.tracer
+        #: invariant-checker suite (None unless the machine was built with
+        #: checking enabled; see repro.check)
+        self.checker = fabric.checker
+        if self.checker is not None:
+            self.checker.register_controller(node_id, self)
         fabric.register_node(node_id, self)
         #: per-node A-fetch outcome counters (fed to the adaptive A-R
         #: controller; maintained regardless of the global classifier)
@@ -134,6 +139,8 @@ class L2Controller:
     def try_fast_store(self, proc_idx: int, role: str, line_addr: int,
                        in_critical_section: bool) -> bool:
         """Store hit on an owned (M) line: completes without stalling."""
+        if self.checker is not None:
+            self.checker.on_store(self.node_id, role)
         line = self.l2.probe(line_addr)
         if line is None or line.state != MODIFIED:
             return False
@@ -223,6 +230,8 @@ class L2Controller:
         A-streams never call this — their stores are skipped or converted to
         :meth:`exclusive_prefetch` by the slipstream executor.
         """
+        if self.checker is not None:
+            self.checker.on_store(self.node_id, role)
         self._note_stream_touch(line_addr, role)
         while True:
             if self.try_fast_store(proc_idx, role, line_addr,
@@ -361,10 +370,17 @@ class L2Controller:
             else:
                 self.classifier.on_r_miss(self.node_id, line_addr,
                                           entry.stat_kind)
+        completed = False
         try:
             result = yield from self.fabric.fetch(
                 self.node_id, line_addr, kind, role)
+            completed = True
         finally:
+            if not completed and self.checker is not None:
+                # Killed between grant and fill (end-of-run A-stream
+                # retirement): the directory may register a copy that
+                # never lands.
+                self.checker.on_fetch_aborted(self.node_id, line_addr)
             if self._pending.get(line_addr) is entry:
                 del self._pending[line_addr]
             entry.event.trigger()
@@ -389,6 +405,8 @@ class L2Controller:
         # An R fill needs no A-Timely/Only resolution; an A fill that an
         # R request already merged with was classified A-Late at merge time.
         line.used_by_r = role == "R" or already_late
+        if self.checker is not None:
+            self.checker.on_fill(self.node_id, line_addr, line)
         return line
 
     def _visible(self, line: CacheLine, role: str) -> bool:
@@ -407,6 +425,8 @@ class L2Controller:
         if line is None:
             return False
         self._note_line_lost(line)
+        if self.checker is not None:
+            self.checker.on_line_dropped(self.node_id, line_addr)
         return line.state == MODIFIED
 
     def apply_downgrade(self, line_addr: int) -> bool:
@@ -416,6 +436,8 @@ class L2Controller:
             return False
         had_m = line.state == MODIFIED
         self.l2.downgrade(line_addr)
+        if self.checker is not None:
+            self.checker.on_line_dropped(self.node_id, line_addr)
         return had_m
 
     def apply_si_hint(self, line_addr: int,
@@ -425,9 +447,13 @@ class L2Controller:
             line = self.l2.probe(line_addr)
         if line is None or line.state != MODIFIED:
             self.si_stale_hints += 1
+            if self.checker is not None:
+                self.checker.on_si_apply(self.node_id, line_addr, False)
             return
         line.si_hint = True
         self._si_pending.add(line_addr)
+        if self.checker is not None:
+            self.checker.on_si_apply(self.node_id, line_addr, True)
 
     # ------------------------------------------------------------------
     # Eviction

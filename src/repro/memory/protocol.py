@@ -76,6 +76,11 @@ class CoherenceFabric:
         self.space = space
         from repro.sim import NULL_TRACER
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: invariant-checker suite, if one was installed on the engine
+        #: before the machine was assembled (see repro.check)
+        self.checker = engine.checker
+        if self.checker is not None:
+            self.checker.attach_fabric(self)
         self.directory = DirectoryState(engine)
         self.network = Network(
             engine, config.n_cmps, config.net_time,
@@ -146,9 +151,18 @@ class CoherenceFabric:
         # Serialize on the line's directory entry.
         guard = self.directory.guard(line)
         yield guard.acquire()
+        checker = self.checker
+        if checker is not None:
+            checker.on_txn_begin(node, line, kind, role)
+        completed = False
         try:
             result = yield from self._at_home(node, home, line, kind, role)
+            if checker is not None:
+                checker.on_txn_end(node, line, kind, role, result)
+            completed = True
         finally:
+            if not completed and checker is not None:
+                checker.on_txn_aborted(node, line)
             guard.release()
 
         # Reply back to the requester.  Every reply is charged as a data
@@ -226,6 +240,8 @@ class CoherenceFabric:
         entry.set_exclusive(node)
         si_hint = (self.si_enabled and
                    bool(self.directory.future_sharers_other_than(line, node)))
+        if si_hint and self.checker is not None:
+            self.checker.on_si_hint(line, node)
         return FetchResult(state=cachemod.MODIFIED, si_hint=si_hint)
 
     def _transparent_at_home(self, node: int, home: int, line: int,
@@ -324,6 +340,8 @@ class CoherenceFabric:
     # Self-invalidation hints (asynchronous control messages)
     # ------------------------------------------------------------------
     def _send_si_hint(self, home: int, owner: int, line: int) -> None:
+        if self.checker is not None:
+            self.checker.on_si_hint(line, owner)
         self.si_hints_sent += 1
         self.tracer.record("si-hint", f"node{owner}", f"line={line:#x}")
         controller = self._nodes[owner]
@@ -347,6 +365,8 @@ class CoherenceFabric:
             entry.clear()
         self.writebacks += 1
         self._post_writeback_traffic(node, line)
+        if self.checker is not None:
+            self.checker.on_writeback(node, line)
 
     def writeback_downgrade(self, node: int, line: int) -> None:
         """Self-invalidation of a producer-consumer line: data goes back to
@@ -356,6 +376,8 @@ class CoherenceFabric:
             entry.downgrade_owner_to_sharer()
         self.writebacks += 1
         self._post_writeback_traffic(node, line)
+        if self.checker is not None:
+            self.checker.on_writeback(node, line)
 
     def replacement_hint(self, node: int, line: int,
                          transparent: bool) -> None:
@@ -367,6 +389,8 @@ class CoherenceFabric:
         self.directory.reset_future_sharer(line, node)
         home = self.space.home_of_line(line)
         self.network.post_transfer(node, home, data=False)
+        if self.checker is not None:
+            self.checker.on_replacement_hint(node, line)
 
     def _post_writeback_traffic(self, node: int, line: int) -> None:
         home = self.space.home_of_line(line)

@@ -49,6 +49,18 @@ class Engine:
         #: Live processes, for deadlock diagnostics. Maintained by Process.
         self._live_processes: dict = {}
         self._running = False
+        #: optional invariant-checker suite (see repro.check); None keeps
+        #: every hook site in the simulator a single `is None` test
+        self.checker = None
+
+    def install_checker(self, checker) -> None:
+        """Attach an invariant-checker suite (``repro.check.CheckerSuite``).
+
+        Must be called before the machine components are constructed —
+        the fabric, L2 controllers, and slipstream pairs capture the
+        checker reference at construction time.
+        """
+        self.checker = checker
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -101,6 +113,10 @@ class Engine:
                 callback()
         finally:
             self._running = False
+        if self.checker is not None:
+            # Natural drain (not an `until` stop): audit the quiescent
+            # machine.  Off the hot path by construction.
+            self.checker.on_drain(self.now)
         if check_deadlock and self._live_processes:
             blocked = [str(p) for p in self._live_processes.values()]
             raise DeadlockError(blocked)

@@ -76,6 +76,9 @@ class AStreamExecutor(TaskExecutor):
         transparent = self._use_transparent()
         if transparent:
             self.transparent_loads += 1
+            checker = self.processor.engine.checker
+            if checker is not None:
+                checker.on_transparent_issue(self.pair, self.cs_depth)
         if self.pair.pattern_log is not None:
             self.pair.pattern_log.record(
                 self.pair.a_session,

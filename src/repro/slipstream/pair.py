@@ -94,6 +94,10 @@ class SlipstreamPair:
         #: tokens owed back to the bucket (an adaptive tighten that could
         #: not retire a token immediately absorbs the next insertion)
         self.token_debt = 0
+        #: invariant-checker suite, when the engine has one installed
+        self.checker = engine.checker
+        if self.checker is not None:
+            self.checker.register_pair(self)
         # statistics
         self.tokens_inserted = 0
         self.a_token_waits = 0
@@ -119,6 +123,8 @@ class SlipstreamPair:
             return
         self.tokens_inserted += 1
         self.tokens.release()
+        if self.checker is not None:
+            self.checker.on_token_insert(self)
 
     def on_r_sync_enter(self) -> None:
         """R-stream is entering a barrier/event-wait routine."""
@@ -146,6 +152,8 @@ class SlipstreamPair:
             self.a_token_waits += 1
             yield self.tokens.acquire()
         self.a_session += 1
+        if self.checker is not None:
+            self.checker.on_token_consume(self)
 
     # ------------------------------------------------------------------
     # Input forwarding (Section 3.2, global operations)
@@ -210,5 +218,7 @@ class SlipstreamPair:
             self.abort_requested = False
             self._recovering = False
             self.a_executor = self.spawn_astream(self, program)
+            if self.checker is not None:
+                self.checker.on_refork(self)
 
         Process(self.engine, supervise(), name=f"recover[{self.task_id}]")

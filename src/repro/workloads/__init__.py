@@ -12,6 +12,7 @@ from repro.workloads.cg import CG
 from repro.workloads.tracefile import TraceWorkload, dump_trace
 from repro.workloads.dynsched import DynSched
 from repro.workloads.fft import FFT
+from repro.workloads.fuzz import Fuzz
 from repro.workloads.lu import LU
 from repro.workloads.mg import MG
 from repro.workloads.ocean import Ocean
@@ -24,6 +25,7 @@ from repro.workloads.water_sp import WaterSpatial
 REGISTRY = {
     "cg": CG,
     "fft": FFT,
+    "fuzz": Fuzz,
     "lu": LU,
     "mg": MG,
     "ocean": Ocean,
@@ -50,5 +52,5 @@ def make(name: str) -> Workload:
 
 __all__ = ["PAPER_ORDER", "REGISTRY", "TraceWorkload", "Workload",
            "dump_trace", "make",
-           "CG", "DynSched", "FFT", "LU", "MG", "Ocean", "SOR", "SP",
-           "WaterNSquared", "WaterSpatial"]
+           "CG", "DynSched", "FFT", "Fuzz", "LU", "MG", "Ocean", "SOR",
+           "SP", "WaterNSquared", "WaterSpatial"]

@@ -1,0 +1,145 @@
+"""Fuzz: seeded random SPMD workload for invariant checking.
+
+Not one of the paper's nine benchmarks: a synthetic stress generator for
+the :mod:`repro.check` sanitizer.  Each task runs a fixed number of
+*sessions* (barrier-delimited, so A-R token accounting is exercised) of
+randomly mixed reads, writes, compute bursts, lock-protected
+read-modify-writes and occasional forwarded inputs over a hot shared
+region plus a per-task private region.
+
+Determinism contract (what the reproducibility tests pin down):
+
+* the op stream is a pure function of ``(seed, task_id, n_tasks)`` —
+  every task draws from ``random.Random(f"{seed}:{task_id}")``, so the
+  stream is independent of role (SPMD: A- and R-streams are identical),
+  Python hash randomization, and platform;
+* every task emits exactly ``sessions`` barriers, locks are balanced,
+  and all addresses stay inside the allocated arrays, so the generator
+  passes the same structural tests as the paper kernels;
+* :meth:`fingerprint` hashes the full op stream of all tasks on a fresh
+  address space, giving a stable id for "same seed, same workload".
+
+Contention is tuned by ``share_fraction`` (probability an access targets
+the shared region) and ``hot_lines`` (how few lines that region has —
+fewer lines, more invalidations and interventions).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Callable, Iterator, List
+
+from repro.memory.address import AddressSpace, SharedAllocator
+from repro.runtime import ops as op
+from repro.runtime.task import TaskContext
+from repro.workloads.base import ELEMS_PER_LINE, Workload
+
+
+class Fuzz(Workload):
+    """Seeded random read/write/sync mix over shared and private lines."""
+
+    name = "fuzz"
+    paper_size = "n/a (synthetic)"
+
+    def __init__(self, seed: int = 2003, sessions: int = 6,
+                 ops_per_session: int = 48, hot_lines: int = 12,
+                 private_lines: int = 24, share_fraction: float = 0.35,
+                 store_fraction: float = 0.35, lock_fraction: float = 0.08,
+                 input_fraction: float = 0.25, n_locks: int = 4,
+                 compute_max: int = 24):
+        if sessions < 1 or ops_per_session < 1:
+            raise ValueError("need at least one session and one op")
+        if hot_lines < 1 or private_lines < 1:
+            raise ValueError("need at least one shared and one private line")
+        if n_locks < 1:
+            raise ValueError("need at least one lock")
+        self.seed = seed
+        self.sessions = sessions
+        self.ops_per_session = ops_per_session
+        self.hot_lines = hot_lines
+        self.private_lines = private_lines
+        self.share_fraction = share_fraction
+        self.store_fraction = store_fraction
+        self.lock_fraction = lock_fraction
+        self.input_fraction = input_fraction
+        self.n_locks = n_locks
+        self.compute_max = compute_max
+        self.shared = None
+        self.private = None
+
+    # ------------------------------------------------------------------
+    def allocate(self, allocator: SharedAllocator, n_tasks: int,
+                 task_home: Callable[[int], int]) -> None:
+        self.shared = allocator.alloc(
+            "fuzz.shared", (self.hot_lines * ELEMS_PER_LINE,))
+        self.private = [
+            allocator.alloc_on(f"fuzz.private{task_id}",
+                               (self.private_lines * ELEMS_PER_LINE,),
+                               task_home(task_id))
+            for task_id in range(n_tasks)]
+
+    # ------------------------------------------------------------------
+    def _rng(self, task_id: int) -> random.Random:
+        # String seeding keeps the stream identical across platforms and
+        # independent of PYTHONHASHSEED.
+        return random.Random(f"{self.seed}:{task_id}")
+
+    def _line_addr(self, array, rng: random.Random, n_lines: int) -> int:
+        return array.addr_flat(rng.randrange(n_lines) * ELEMS_PER_LINE)
+
+    def program(self, ctx: TaskContext) -> Iterator:
+        shared = self.shared
+        private = self.private[ctx.task_id]
+        rng = self._rng(ctx.task_id)
+        for session in range(self.sessions):
+            # At most one forwarded input per session, always at the
+            # session head so the A-stream's forwarding sequence stays
+            # trivially aligned across reforks.
+            if rng.random() < self.input_fraction:
+                yield op.Input(f"fuzz.s{session}")
+            for _ in range(self.ops_per_session):
+                draw = rng.random()
+                if draw < self.lock_fraction:
+                    # Lock-protected read-modify-write of a hot line:
+                    # exercises critical-section reduction (store skip,
+                    # transparent loads inside the section).
+                    addr = self._line_addr(shared, rng, self.hot_lines)
+                    lid = ("fuzz.lock", rng.randrange(self.n_locks))
+                    yield op.LockAcquire(lid)
+                    yield op.Load(addr)
+                    yield op.Compute(1 + rng.randrange(self.compute_max))
+                    yield op.Store(addr)
+                    yield op.LockRelease(lid)
+                    continue
+                if rng.random() < self.share_fraction:
+                    addr = self._line_addr(shared, rng, self.hot_lines)
+                else:
+                    addr = self._line_addr(private, rng, self.private_lines)
+                if rng.random() < self.store_fraction:
+                    yield op.Store(addr)
+                else:
+                    yield op.Load(addr)
+                yield op.Compute(1 + rng.randrange(self.compute_max))
+            yield op.Barrier("fuzz.session")
+        yield op.Output()
+
+    # ------------------------------------------------------------------
+    def fingerprint(self, n_tasks: int = 4, n_nodes: int = 4) -> str:
+        """Stable hash of the full op stream of every task.
+
+        Allocates on a fresh address space (the bump allocator is
+        deterministic), so two instances with equal parameters always
+        fingerprint identically — the acceptance test for "a fixed fuzz
+        seed reproduces the identical op sequence".
+        """
+        space = AddressSpace(n_nodes)
+        allocator = SharedAllocator(space)
+        self.allocate(allocator, n_tasks, lambda t: t % n_nodes)
+        digest = hashlib.sha256()
+        for task_id in range(n_tasks):
+            ctx = TaskContext(task_id, n_tasks)
+            for operation in self.program(ctx):
+                digest.update(repr(operation).encode())
+                digest.update(b"\n")
+        return digest.hexdigest()

@@ -1,0 +1,122 @@
+"""Seeded fuzz workloads under the invariant sanitizer.
+
+The ``fuzz`` workload generates random read/write/sync mixes from a
+seed; running it with ``check=True`` turns every simulation into a
+self-checking one — any coherence, token-accounting, or slipstream
+invariant breach raises :class:`repro.check.InvariantViolation` and
+fails the test.  The fast tier covers a couple of seeds across all
+three execution modes; the ``slow`` tier widens to every A-R policy
+with transparent loads and self-invalidation on.
+"""
+
+import pytest
+
+from repro.check import InvariantViolation  # noqa: F401  (the oracle)
+from repro.config import scaled_config
+from repro.experiments.driver import run_mode
+from repro.slipstream.arsync import POLICIES, G1, L0
+from repro.workloads import REGISTRY, make
+from repro.workloads.fuzz import Fuzz
+
+FAST_SEEDS = (2003, 7)
+SLOW_SEEDS = tuple(range(11, 16))
+
+
+def small_fuzz(seed: int) -> Fuzz:
+    return Fuzz(seed=seed, sessions=4, ops_per_session=32)
+
+
+def checked_run(workload, mode, **kwargs):
+    config = scaled_config(2, check=True)
+    result = run_mode(workload, config, mode, **kwargs)
+    assert result.check_stats, f"{mode}: no checks fired"
+    return result
+
+
+# ----------------------------------------------------------------------
+# Reproducibility: the acceptance criterion for the generator
+# ----------------------------------------------------------------------
+def test_same_seed_reproduces_identical_op_stream():
+    assert Fuzz(seed=42).fingerprint() == Fuzz(seed=42).fingerprint()
+
+
+def test_different_seeds_diverge():
+    assert Fuzz(seed=1).fingerprint() != Fuzz(seed=2).fingerprint()
+
+
+def test_fingerprint_depends_on_task_count():
+    workload = Fuzz(seed=3)
+    assert workload.fingerprint(n_tasks=2) != workload.fingerprint(n_tasks=4)
+
+
+def test_fuzz_is_registered():
+    assert isinstance(make("fuzz"), Fuzz)
+    assert "fuzz" in REGISTRY
+
+
+# ----------------------------------------------------------------------
+# Fast tier: seeds x modes, checkers on
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", FAST_SEEDS)
+@pytest.mark.parametrize("mode", ["single", "double"])
+def test_fuzz_conventional_modes_hold_invariants(seed, mode):
+    result = checked_run(small_fuzz(seed), mode)
+    assert result.check_stats.get("directory", 0) > 0
+    assert result.check_stats.get("agreement", 0) > 0
+
+
+@pytest.mark.parametrize("seed", FAST_SEEDS)
+@pytest.mark.parametrize("policy", [G1, L0], ids=lambda p: p.name)
+def test_fuzz_slipstream_holds_invariants(seed, policy):
+    result = checked_run(small_fuzz(seed), "slipstream", policy=policy,
+                         transparent=True, si=True)
+    stats = result.check_stats
+    assert stats.get("store", 0) > 0        # A-stream store reductions seen
+    assert stats.get("tokens", 0) > 0       # token-bucket accounting seen
+    assert stats.get("directory", 0) > 0
+
+
+@pytest.mark.parametrize("seed", FAST_SEEDS)
+def test_r_stream_unaffected_by_slipstream(seed):
+    """The A-stream is pure speedup machinery: the R-stream must execute
+    the same work (identical per-task busy cycles) with or without it."""
+    single = checked_run(small_fuzz(seed), "single")
+    slip = checked_run(small_fuzz(seed), "slipstream", policy=G1,
+                       transparent=True, si=True)
+    assert [t.busy for t in single.task_breakdowns] == \
+        [t.busy for t in slip.task_breakdowns]
+
+
+def test_fuzz_runs_are_deterministic():
+    first = checked_run(small_fuzz(99), "slipstream", policy=G1)
+    second = checked_run(small_fuzz(99), "slipstream", policy=G1)
+    assert first.exec_cycles == second.exec_cycles
+    assert first.cache_totals == second.cache_totals
+    assert first.check_stats == second.check_stats
+
+
+# ----------------------------------------------------------------------
+# Slow tier: wider seed sweep, all four policies
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", SLOW_SEEDS)
+@pytest.mark.parametrize("policy", POLICIES, ids=lambda p: p.name)
+def test_fuzz_sweep_all_policies(seed, policy):
+    checked_run(Fuzz(seed=seed), "slipstream", policy=policy,
+                transparent=True, si=True)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", SLOW_SEEDS)
+def test_fuzz_sweep_conventional(seed):
+    checked_run(Fuzz(seed=seed), "single")
+    checked_run(Fuzz(seed=seed), "double")
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("share", [0.1, 0.6, 0.9])
+def test_fuzz_sweep_sharing_degrees(share):
+    """High contention on few hot lines stresses interventions and
+    invalidation fan-out; low contention stresses capacity paths."""
+    workload = Fuzz(seed=5, hot_lines=4, share_fraction=share)
+    checked_run(workload, "slipstream", policy=G1, transparent=True, si=True)

@@ -1,0 +1,94 @@
+"""Golden end-state regression: pinned cycle counts and cache totals.
+
+One tiny instance of each of the paper's nine kernels, run in all three
+execution modes on a fixed 2-CMP configuration.  The simulator is fully
+deterministic, so any drift in these numbers means a *behavioural* change
+to the timing model, the coherence protocol, or a workload's op stream —
+which must be intentional and re-pinned, never accidental.
+
+The second half asserts the invariant sanitizer's timing neutrality:
+``check=True`` must reproduce the pinned numbers bit-for-bit.
+"""
+
+import pytest
+
+from repro.config import scaled_config
+from repro.experiments.driver import run_mode
+from repro.workloads.cg import CG
+from repro.workloads.fft import FFT
+from repro.workloads.lu import LU
+from repro.workloads.mg import MG
+from repro.workloads.ocean import Ocean
+from repro.workloads.sor import SOR
+from repro.workloads.sp import SP
+from repro.workloads.water_nsq import WaterNSquared
+from repro.workloads.water_sp import WaterSpatial
+
+N_CMPS = 2
+
+#: tiny problem instances — a few hundred shared lines each, so every
+#: (workload, mode) point simulates in well under a second
+TINY = {
+    "cg": lambda: CG(n=128, nnz_per_row=4, iterations=2),
+    "fft": lambda: FFT(n1=16),
+    "lu": lambda: LU(blocks=4, block_elems=8),
+    "mg": lambda: MG(size=16, levels=2, cycles=1),
+    "ocean": lambda: Ocean(rows=32, cols=24, timesteps=1),
+    "sor": lambda: SOR(rows=24, cols=16, iterations=2),
+    "sp": lambda: SP(size=8, iterations=2),
+    "water-ns": lambda: WaterNSquared(molecules=32, timesteps=1),
+    "water-sp": lambda: WaterSpatial(cell_rows=16, cells_per_row=4,
+                                     timesteps=1),
+}
+
+#: (workload, mode) -> (exec_cycles, machine-wide cache totals)
+GOLDEN = {
+    ("cg", "single"): (53030, {"l1_hits": 937, "l1_misses": 726, "l2_hits": 200, "l2_misses": 299, "l2_evictions": 0}),
+    ("cg", "double"): (38678, {"l1_hits": 942, "l1_misses": 737, "l2_hits": 202, "l2_misses": 313, "l2_evictions": 0}),
+    ("cg", "slipstream"): (45344, {"l1_hits": 1839, "l1_misses": 1819, "l2_hits": 631, "l2_misses": 563, "l2_evictions": 0}),
+    ("fft", "single"): (49257, {"l1_hits": 256, "l1_misses": 256, "l2_hits": 224, "l2_misses": 288, "l2_evictions": 0}),
+    ("fft", "double"): (28785, {"l1_hits": 224, "l1_misses": 320, "l2_hits": 256, "l2_misses": 288, "l2_evictions": 0}),
+    ("fft", "slipstream"): (34776, {"l1_hits": 320, "l1_misses": 1137, "l2_hits": 686, "l2_misses": 387, "l2_evictions": 0}),
+    ("lu", "single"): (98107, {"l1_hits": 104, "l1_misses": 912, "l2_hits": 368, "l2_misses": 328, "l2_evictions": 0}),
+    ("lu", "double"): (77692, {"l1_hits": 112, "l1_misses": 958, "l2_hits": 360, "l2_misses": 390, "l2_evictions": 0}),
+    ("lu", "slipstream"): (84018, {"l1_hits": 161, "l1_misses": 2175, "l2_hits": 982, "l2_misses": 474, "l2_evictions": 0}),
+    ("mg", "single"): (183943, {"l1_hits": 112, "l1_misses": 3008, "l2_hits": 1856, "l2_misses": 1312, "l2_evictions": 0}),
+    ("mg", "double"): (161774, {"l1_hits": 160, "l1_misses": 3488, "l2_hits": 1632, "l2_misses": 1776, "l2_evictions": 0}),
+    ("mg", "slipstream"): (141146, {"l1_hits": 207, "l1_misses": 6689, "l2_hits": 3898, "l2_misses": 1430, "l2_evictions": 0}),
+    ("ocean", "single"): (96571, {"l1_hits": 1405, "l1_misses": 1022, "l2_hits": 763, "l2_misses": 472, "l2_evictions": 0}),
+    ("ocean", "double"): (71588, {"l1_hits": 1661, "l1_misses": 510, "l2_hits": 371, "l2_misses": 608, "l2_evictions": 0}),
+    ("ocean", "slipstream"): (80069, {"l1_hits": 2539, "l1_misses": 2712, "l2_hits": 1606, "l2_misses": 537, "l2_evictions": 0}),
+    ("sor", "single"): (18819, {"l1_hits": 208, "l1_misses": 112, "l2_hits": 40, "l2_misses": 104, "l2_evictions": 0}),
+    ("sor", "double"): (14330, {"l1_hits": 192, "l1_misses": 144, "l2_hits": 32, "l2_misses": 128, "l2_evictions": 0}),
+    ("sor", "slipstream"): (14756, {"l1_hits": 366, "l1_misses": 402, "l2_hits": 177, "l2_misses": 151, "l2_evictions": 0}),
+    ("sp", "single"): (88915, {"l1_hits": 816, "l1_misses": 288, "l2_hits": 504, "l2_misses": 280, "l2_evictions": 0}),
+    ("sp", "double"): (79632, {"l1_hits": 856, "l1_misses": 464, "l2_hits": 416, "l2_misses": 456, "l2_evictions": 0}),
+    ("sp", "slipstream"): (71676, {"l1_hits": 1178, "l1_misses": 1670, "l2_hits": 1208, "l2_misses": 360, "l2_evictions": 0}),
+    ("water-ns", "single"): (145801, {"l1_hits": 11, "l1_misses": 1066, "l2_hits": 133, "l2_misses": 656, "l2_evictions": 0}),
+    ("water-ns", "double"): (83546, {"l1_hits": 7, "l1_misses": 1716, "l2_hits": 517, "l2_misses": 662, "l2_evictions": 0}),
+    ("water-ns", "slipstream"): (136798, {"l1_hits": 11, "l1_misses": 2725, "l2_hits": 828, "l2_misses": 1076, "l2_evictions": 0}),
+    ("water-sp", "single"): (67828, {"l1_hits": 236, "l1_misses": 280, "l2_hits": 60, "l2_misses": 272, "l2_evictions": 0}),
+    ("water-sp", "double"): (39502, {"l1_hits": 224, "l1_misses": 304, "l2_hits": 40, "l2_misses": 304, "l2_evictions": 0}),
+    ("water-sp", "slipstream"): (55023, {"l1_hits": 348, "l1_misses": 914, "l2_hits": 446, "l2_misses": 256, "l2_evictions": 0}),
+}
+
+
+@pytest.mark.parametrize("name,mode", sorted(GOLDEN))
+def test_golden_end_state(name, mode):
+    result = run_mode(TINY[name](), scaled_config(N_CMPS), mode)
+    cycles, totals = GOLDEN[(name, mode)]
+    assert result.exec_cycles == cycles, \
+        f"{name}/{mode}: exec_cycles drifted {cycles} -> {result.exec_cycles}"
+    assert result.cache_totals == totals, \
+        f"{name}/{mode}: cache totals drifted"
+
+
+@pytest.mark.parametrize("mode", ["single", "double", "slipstream"])
+def test_checkers_do_not_change_golden_numbers(mode):
+    """The sanitizer observes; it must never perturb simulated timing."""
+    config = scaled_config(N_CMPS, check=True)
+    result = run_mode(TINY["sor"](), config, mode)
+    cycles, totals = GOLDEN[("sor", mode)]
+    assert result.exec_cycles == cycles
+    assert result.cache_totals == totals
+    assert result.check_stats and sum(result.check_stats.values()) > 0

@@ -6,9 +6,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.check import (directory_entry_errors, token_accounting_errors,
+                         token_lead_bound, token_lead_errors)
 from repro.memory.address import AddressSpace, SharedAllocator
 from repro.memory.cache import Cache, MODIFIED, SHARED
+from repro.memory.directory import DirectoryEntry, EXCLUSIVE
 from repro.sim import Engine, Process, SimSemaphore, Timeout
+from repro.slipstream.arsync import POLICIES
 from repro.stats.classify import CATEGORIES, RequestClassifier
 from repro.workloads.base import block_range
 
@@ -140,6 +144,102 @@ def test_processes_finish_at_sum_of_timeouts(durations):
     Process(engine, worker(finish, durations))
     engine.run()
     assert finish == [sum(durations)]
+
+
+# ----------------------------------------------------------------------
+# DirectoryEntry: every legal transition sequence keeps the entry
+# structurally sound (oracle: the repro.check predicate)
+# ----------------------------------------------------------------------
+_DIR_OPS = st.tuples(
+    st.sampled_from(["add_sharer", "set_exclusive", "remove_sharer",
+                     "downgrade", "clear"]),
+    st.integers(0, 3))
+
+
+@given(ops=st.lists(_DIR_OPS, max_size=80))
+def test_directory_entry_transitions_stay_sound(ops):
+    entry = DirectoryEntry()
+    for name, node in ops:
+        if name == "add_sharer" and entry.state != EXCLUSIVE:
+            entry.add_sharer(node)
+        elif name == "set_exclusive":
+            entry.set_exclusive(node)
+        elif name == "remove_sharer" and entry.state != EXCLUSIVE:
+            entry.remove_sharer(node)
+        elif name == "downgrade" and entry.state == EXCLUSIVE:
+            entry.downgrade_owner_to_sharer()
+        elif name == "clear":
+            entry.clear()
+        else:
+            continue
+        assert directory_entry_errors(entry, n_nodes=4) == [], \
+            f"after {name}({node}): {entry!r}"
+
+
+@given(ops=st.lists(_DIR_OPS, max_size=40), phantom=st.integers(4, 9))
+def test_directory_entry_oracle_catches_corruption(ops, phantom):
+    """The oracle itself must not be vacuous: forcing an out-of-range
+    sharer into any reachable shared/uncached entry must be reported."""
+    entry = DirectoryEntry()
+    for name, node in ops:
+        if name == "add_sharer" and entry.state != EXCLUSIVE:
+            entry.add_sharer(node)
+        elif name == "clear":
+            entry.clear()
+    entry.sharers.add(phantom)
+    assert directory_entry_errors(entry, n_nodes=4)
+
+
+# ----------------------------------------------------------------------
+# A-R token protocol: any legal R-enter/R-exit/A-consume interleaving
+# satisfies the accounting and lead-bound predicates
+# ----------------------------------------------------------------------
+@given(ops=st.lists(st.sampled_from(["enter", "exit", "consume"]),
+                    max_size=100),
+       policy=st.sampled_from(POLICIES))
+def test_token_protocol_satisfies_predicates(ops, policy):
+    count = policy.initial_tokens
+    inserted = consumed = 0
+    a_session = r_session = 0
+    in_sync = False
+    for operation in ops:
+        if operation == "enter" and not in_sync:
+            in_sync = True
+            if policy.inserts_on_entry:
+                inserted += 1
+                count += 1
+        elif operation == "exit" and in_sync:
+            in_sync = False
+            r_session += 1
+            if not policy.inserts_on_entry:
+                inserted += 1
+                count += 1
+        elif operation == "consume" and count > 0:
+            count -= 1
+            consumed += 1
+            a_session += 1
+        else:
+            continue
+        assert token_accounting_errors(policy, inserted, consumed,
+                                       count) == []
+        assert token_lead_errors(policy, a_session, r_session) == []
+        assert a_session - r_session <= token_lead_bound(policy)
+
+
+@given(ops=st.lists(st.sampled_from(["insert", "consume"]), max_size=60),
+       policy=st.sampled_from(POLICIES))
+def test_token_accounting_oracle_catches_conjured_token(ops, policy):
+    count = policy.initial_tokens
+    inserted = consumed = 0
+    for operation in ops:
+        if operation == "insert":
+            inserted += 1
+            count += 1
+        elif count > 0:
+            count -= 1
+            consumed += 1
+    assert token_accounting_errors(policy, inserted, consumed, count) == []
+    assert token_accounting_errors(policy, inserted, consumed, count + 1)
 
 
 # ----------------------------------------------------------------------

@@ -93,6 +93,28 @@ def test_corrupt_entry_degrades_to_miss(tmp_path):
     assert cache.get(key) is None
 
 
+@pytest.mark.parametrize("payload", [
+    "",                                  # truncated to nothing
+    '{"workload": "sor", "mo',           # truncated mid-write
+    "[1, 2, 3]",                         # valid JSON, wrong shape
+    '"just a string"',                   # valid JSON, wrong type
+    '{"unrelated": true}',               # object missing required fields
+    "null",
+], ids=["empty", "truncated", "list", "string", "wrong-keys", "null"])
+def test_unreadable_entry_shapes_degrade_to_miss(payload, tmp_path):
+    """No on-disk state may crash the cache: every malformed entry is a
+    miss, and a subsequent put overwrites it cleanly."""
+    cache = ResultCache(tmp_path)
+    result = execute_spec(spec())
+    key = spec().key()
+    (tmp_path / f"{key}.json").write_text(payload)
+    assert cache.get(key) is None
+    cache.put(key, result)                # overwrite the corpse
+    revived = cache.get(key)
+    assert revived is not None
+    assert revived.exec_cycles == result.exec_cycles
+
+
 def test_clear_removes_entries(tmp_path):
     cache = ResultCache(tmp_path)
     cache.put(spec().key(), execute_spec(spec()))
