@@ -96,6 +96,49 @@ class MachineConfig:
     input_forward_cycles: int = 20
 
     # ------------------------------------------------------------------
+    # Fault injection (repro.faults).  All models are off at rate 0.0, and
+    # a zero rate short-circuits before any RNG draw, so faults=True with
+    # all-zero rates is bit-identical to faults=False.
+    # ------------------------------------------------------------------
+    #: master switch: construct and install a FaultInjector on the engine
+    faults: bool = False
+    #: seeds the per-domain fault RNG streams (independent of `seed`)
+    fault_seed: int = 1
+    #: probability a network message picks up extra latency
+    fault_net_jitter_rate: float = 0.0
+    #: max extra cycles per jittered message (uniform in [1, max])
+    fault_net_jitter_max: int = 40
+    #: probability a coherence *request* hop is dropped (surfaced as NACK)
+    fault_net_drop_rate: float = 0.0
+    #: NACK retries before the requester's watchdog gives up backing off
+    fault_net_max_retries: int = 5
+    #: first-retry backoff in cycles; doubles per retry up to the cap
+    fault_net_backoff_base: int = 32
+    fault_net_backoff_cap: int = 2048
+    #: watchdog: total cycles a fetch may spend retrying before it stops
+    #: backing off and retries continuously (forward-progress guarantee)
+    fault_net_watchdog: int = 50_000
+    #: probability an inserted A-R token is lost in flight
+    fault_token_loss_rate: float = 0.0
+    #: probability the A-stream control-deviates at a sync point
+    fault_astream_corrupt_rate: float = 0.0
+    #: per-opportunity probability of a transient CPU stall
+    fault_cpu_stall_rate: float = 0.0
+    #: stall duration in cycles when one fires
+    fault_cpu_stall_cycles: int = 500
+
+    # ------------------------------------------------------------------
+    # Graceful degradation (slipstream -> conventional execution).  The
+    # pair is demoted when it reforks `degrade_after_reforks` times within
+    # a window of `degrade_window_sessions` R-stream sessions; 0 disables.
+    # ------------------------------------------------------------------
+    degrade_after_reforks: int = 0
+    degrade_window_sessions: int = 16
+    #: demoted pairs are re-promoted to slipstream after this many clean
+    #: sessions (0 = demotion is permanent for the rest of the run)
+    repromote_after_sessions: int = 0
+
+    # ------------------------------------------------------------------
     # Derived / misc
     # ------------------------------------------------------------------
     seed: int = 12345
@@ -115,6 +158,25 @@ class MachineConfig:
                 raise ValueError(f"{name} must be a power of two, got {value}")
         if self.page_size % self.line_size:
             raise ValueError("page_size must be a multiple of line_size")
+        for name in ("fault_net_jitter_rate", "fault_net_drop_rate",
+                     "fault_token_loss_rate", "fault_astream_corrupt_rate",
+                     "fault_cpu_stall_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.fault_net_backoff_base < 1:
+            raise ValueError("fault_net_backoff_base must be >= 1")
+        if self.fault_net_backoff_cap < self.fault_net_backoff_base:
+            raise ValueError("fault_net_backoff_cap must be >= backoff_base")
+        if self.fault_net_watchdog < 1:
+            raise ValueError("fault_net_watchdog must be >= 1")
+        if self.fault_net_max_retries < 0:
+            raise ValueError("fault_net_max_retries must be >= 0")
+        for name in ("degrade_after_reforks", "degrade_window_sessions",
+                     "repromote_after_sessions", "fault_cpu_stall_cycles",
+                     "fault_net_jitter_max"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
 
     def with_overrides(self, **kwargs) -> "MachineConfig":
         """Return a copy with the given fields replaced."""

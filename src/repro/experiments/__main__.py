@@ -26,8 +26,18 @@ import sys
 from repro.experiments import figures
 from repro.experiments.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.experiments.runner import Runner
+from repro.faults import FAULT_PROFILES
 from repro.stats.report import bar_chart, series_table
 from repro.workloads import PAPER_ORDER
+
+
+def _fault_overrides(args) -> dict:
+    """MachineConfig overrides implied by ``--faults``/``--fault-seed``."""
+    if args.faults is None:
+        return {}
+    overrides = dict(FAULT_PROFILES[args.faults])
+    overrides.update(faults=True, fault_seed=args.fault_seed)
+    return overrides
 
 
 def _flatten_fig5(data):
@@ -85,6 +95,22 @@ def main(argv=None) -> int:
                              "changes simulated timing)")
     parser.add_argument("--seed", type=int, default=2003,
                         help="fuzz-workload seed (fuzz experiment only)")
+    parser.add_argument("--faults", nargs="?", const="chaos", default=None,
+                        choices=sorted(FAULT_PROFILES), metavar="PROFILE",
+                        help="enable deterministic fault injection with the "
+                             f"named profile ({'/'.join(sorted(FAULT_PROFILES))}; "
+                             "bare --faults means chaos)")
+    parser.add_argument("--fault-seed", type=int, default=1,
+                        help="seed for the fault-injection RNG streams "
+                             "(default: 1; same seed => same fault schedule)")
+    parser.add_argument("--fail-fast", action="store_true",
+                        help="abort the whole batch on the first failed "
+                             "simulation instead of recording structured "
+                             "error results")
+    parser.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                        help="pooled-run watchdog: abandon outstanding "
+                             "simulations if no worker makes progress for "
+                             "SEC seconds (jobs > 1 only)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the on-disk result cache")
     parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
@@ -111,9 +137,13 @@ def main(argv=None) -> int:
     if args.experiment == "fuzz":
         return _run_fuzz(args)
 
+    overrides = _fault_overrides(args)
+    if args.check:
+        overrides["check"] = True
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     runner = Runner(jobs=args.jobs, cache=cache,
-                    config_overrides={"check": True} if args.check else None)
+                    config_overrides=overrides or None,
+                    timeout=args.timeout, fail_fast=args.fail_fast)
     previous_runner = figures.set_runner(runner)
     try:
         return _run_experiments(args, workloads, cmps)
@@ -132,7 +162,10 @@ def _run_fuzz(args) -> int:
     with the invariant checkers enabled.  A violation raises; a clean
     exit means every checked invariant held for this seed.  The printed
     fingerprint identifies the exact op stream, so a failing seed can be
-    reproduced bit-for-bit.
+    reproduced bit-for-bit.  With ``--faults`` the sweep additionally
+    injects the chosen fault profile — the checkers then prove the
+    invariants survive jitter, drops, lost tokens, corrupted A-streams,
+    and refork/degradation churn.
     """
     from repro.config import scaled_config
     from repro.experiments.driver import run_mode
@@ -140,12 +173,13 @@ def _run_fuzz(args) -> int:
     from repro.workloads.fuzz import Fuzz
 
     n_cmps = args.cmps[-1] if args.cmps else 4
+    fault_overrides = _fault_overrides(args)
     fingerprint = Fuzz(seed=args.seed).fingerprint(n_tasks=n_cmps)
     runs = [("single", None), ("double", None)]
     runs += [("slipstream", policy) for policy in POLICIES]
     rows = {}
     for mode, policy in runs:
-        config = scaled_config(n_cmps, check=True)
+        config = scaled_config(n_cmps, check=True, **fault_overrides)
         kwargs = {}
         label = mode
         if policy is not None:
@@ -156,14 +190,24 @@ def _run_fuzz(args) -> int:
             "cycles": result.exec_cycles,
             "checks_fired": sum((result.check_stats or {}).values()),
         }
+        if fault_overrides:
+            rows[label]["faults"] = (result.fault_stats or {}).get("events", 0)
+            rows[label]["recoveries"] = result.recoveries
+            rows[label]["demotions"] = result.demotions
+    fault_note = (f", faults={args.faults}(seed={args.fault_seed})"
+                  if fault_overrides else "")
     if args.json:
         print(json.dumps({"seed": args.seed, "n_cmps": n_cmps,
-                          "fingerprint": fingerprint, "runs": rows},
+                          "fingerprint": fingerprint,
+                          "fault_profile": args.faults,
+                          "fault_seed": args.fault_seed if fault_overrides
+                          else None, "runs": rows},
                          indent=2))
     else:
         print(figures.render(
             rows, title=f"Fuzz sweep: seed={args.seed}, {n_cmps} CMPs, "
-                        f"op-stream {fingerprint[:16]} — no violations"))
+                        f"op-stream {fingerprint[:16]}{fault_note} "
+                        f"— no violations"))
     return 0
 
 

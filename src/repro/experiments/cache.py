@@ -16,7 +16,10 @@ memoizable — the cache key is a SHA-256 over
 
 Results are stored one JSON file per key (``<key>.json``) under the
 cache root; writes go through a temp file + :func:`os.replace` so
-concurrent pool workers never observe a half-written entry.
+concurrent pool workers never observe a half-written entry.  An entry
+that exists but fails to deserialize is *quarantined* — renamed to
+``<key>.json.corrupt`` — so the miss is taken once and the broken file
+is kept for inspection instead of being re-parsed on every run.
 """
 
 from __future__ import annotations
@@ -32,7 +35,7 @@ from typing import Optional
 from repro.experiments.driver import RunResult
 
 #: bump when the serialized RunResult layout (or key payload) changes
-CACHE_FORMAT_VERSION = 2
+CACHE_FORMAT_VERSION = 3
 
 #: default cache location (overridable via the environment or --cache-dir)
 DEFAULT_CACHE_DIR = os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
@@ -74,6 +77,9 @@ class ResultCache:
 
     ``get`` returns ``None`` (a miss) for absent *or* unreadable entries,
     so a corrupt file degrades to re-simulation, never to an error.
+    Entries that are present but fail to deserialize are additionally
+    quarantined (renamed to ``*.json.corrupt``) so they are not re-read
+    and re-rejected on every subsequent run.
     """
 
     def __init__(self, root: str | Path = DEFAULT_CACHE_DIR):
@@ -81,22 +87,37 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self.quarantined = 0
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.json"
 
     def get(self, key: str) -> Optional[RunResult]:
+        path = self._path(key)
         try:
-            data = json.loads(self._path(key).read_text())
+            data = json.loads(path.read_text())
             result = RunResult.from_dict(data)
-        except (OSError, ValueError, TypeError, KeyError, AttributeError):
-            # AttributeError: valid JSON that is not an object (e.g. a
-            # truncated-then-rewritten list) reaches from_dict, which
-            # calls .items() on it.
+        except OSError:
+            # Absent (the common miss) or unreadable: nothing to quarantine.
+            self.misses += 1
+            return None
+        except (ValueError, TypeError, KeyError, AttributeError):
+            # The file exists but its content is broken (AttributeError:
+            # valid JSON that is not an object reaches from_dict, which
+            # calls .items() on it).  Quarantine it: keep the evidence,
+            # stop paying the parse failure on every run.
+            self._quarantine(path)
             self.misses += 1
             return None
         self.hits += 1
         return result
+
+    def _quarantine(self, path: Path) -> None:
+        try:
+            os.replace(path, path.with_name(path.name + ".corrupt"))
+            self.quarantined += 1
+        except OSError:
+            pass  # racing process already quarantined or removed it
 
     def put(self, key: str, result: RunResult) -> None:
         self.root.mkdir(parents=True, exist_ok=True)
@@ -115,12 +136,15 @@ class ResultCache:
         return sum(1 for _ in self.root.glob("*.json"))
 
     def clear(self) -> int:
-        """Delete every cached entry; returns the number removed."""
+        """Delete every cached entry (quarantined files included);
+        returns the number of live entries removed."""
         removed = 0
         if self.root.is_dir():
             for path in self.root.glob("*.json"):
                 path.unlink(missing_ok=True)
                 removed += 1
+            for path in self.root.glob("*.json.corrupt"):
+                path.unlink(missing_ok=True)
         return removed
 
     def __repr__(self) -> str:

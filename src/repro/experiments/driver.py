@@ -85,6 +85,19 @@ class RunResult:
     cache_totals: Dict[str, int] = field(default_factory=dict)
     #: invariant-checker fire counts per check (check=True runs only)
     check_stats: Optional[Dict[str, int]] = None
+    #: fault-injection summary: per-model fire counts + schedule
+    #: fingerprint (faults=True runs only; see repro.faults)
+    fault_stats: Optional[Dict[str, object]] = None
+    #: A-R tokens lost to injected faults / injected control deviations
+    tokens_lost: int = 0
+    astream_corruptions: int = 0
+    #: graceful-degradation events (degrade_after_reforks > 0 runs)
+    demotions: int = 0
+    promotions: int = 0
+    #: structured failure record set by the resilient experiment runner
+    #: when the run itself failed ({"type", "message", ...}); None on
+    #: success.  Error results are never cached.
+    error: Optional[Dict[str, object]] = None
     #: wall-clock seconds the simulation took (set by the experiment
     #: runner; excluded from cache keys, carried through the cache so
     #: warm runs can still report serial-equivalent time)
@@ -199,6 +212,12 @@ def run_mode(workload, config: MachineConfig, mode: str,
             if adaptive:
                 from repro.slipstream.adaptive import AdaptiveController
                 pair.adaptive = AdaptiveController(pair, node.ctrl)
+            if config.degrade_after_reforks > 0:
+                from repro.slipstream.adaptive import DegradationController
+                pair.degradation = DegradationController(
+                    pair, config.degrade_after_reforks,
+                    config.degrade_window_sessions,
+                    config.repromote_after_sessions)
             if forwarding:
                 from repro.slipstream.forwarding import (PatternLog,
                                                          PatternPrefetcher)
@@ -278,6 +297,12 @@ def run_mode(workload, config: MachineConfig, mode: str,
         result.stores_skipped = sum(a.stores_skipped for a in all_a)
         result.transparent_loads_issued = sum(
             a.transparent_loads for a in all_a)
+        result.tokens_lost = sum(p.tokens_lost for p in pairs)
+        result.astream_corruptions = sum(a.corruptions for a in all_a)
+        result.demotions = sum(p.degradation.demotions for p in pairs
+                               if p.degradation is not None)
+        result.promotions = sum(p.degradation.promotions for p in pairs
+                                if p.degradation is not None)
         classifier = system.classifier
         result.request_classes = classifier.summary()
         result.read_breakdown = classifier.breakdown("read")
@@ -313,6 +338,8 @@ def run_mode(workload, config: MachineConfig, mode: str,
     }
     if system.checker is not None:
         result.check_stats = system.checker.stats()
+    if system.faults is not None:
+        result.fault_stats = system.faults.summary()
     result.fabric_stats = {
         "transactions": fabric.transactions,
         "interventions": fabric.interventions,
@@ -321,6 +348,9 @@ def run_mode(workload, config: MachineConfig, mode: str,
         "si_hints_sent": fabric.si_hints_sent,
         "migratory_grants": fabric.migratory_grants,
         "network_messages": fabric.network.messages,
+        "jitter_cycles": fabric.network.jitter_cycles,
+        "net_retries": sum(n.ctrl.net_retries for n in system.nodes),
+        "watchdog_trips": sum(n.ctrl.watchdog_trips for n in system.nodes),
     }
     return result
 

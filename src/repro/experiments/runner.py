@@ -28,8 +28,10 @@ state (``run_mode`` rewrites ``n_cmps`` for sequential runs).
 
 from __future__ import annotations
 
+import sys
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, fields, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -155,6 +157,8 @@ class BatchStats:
     memo_hits: int = 0       #: served from this Runner's in-process memo
     cache_hits: int = 0      #: served from the on-disk result cache
     executed: int = 0        #: simulations actually run
+    failed: int = 0          #: specs that produced an error result
+    retried: int = 0         #: specs re-submitted after a worker crash
     jobs: int = 1            #: worker processes used for the misses
     serial_seconds: float = 0.0  #: sum of per-run wall times (serial equivalent)
     wall_seconds: float = 0.0    #: actual elapsed batch time
@@ -171,15 +175,21 @@ class BatchStats:
             memo_hits=self.memo_hits + other.memo_hits,
             cache_hits=self.cache_hits + other.cache_hits,
             executed=self.executed + other.executed,
+            failed=self.failed + other.failed,
+            retried=self.retried + other.retried,
             jobs=max(self.jobs, other.jobs),
             serial_seconds=self.serial_seconds + other.serial_seconds,
             wall_seconds=self.wall_seconds + other.wall_seconds)
 
     def summary(self) -> str:
+        resilience = ""
+        if self.failed or self.retried:
+            resilience = (f", {self.failed} failed, "
+                          f"{self.retried} retried after worker crashes")
         return (f"{self.total} runs requested: {self.executed} simulated, "
                 f"{self.cache_hits} from disk cache, {self.memo_hits} "
                 f"memoized, {self.total - self.unique - self.memo_hits} "
-                f"deduplicated in-batch (jobs={self.jobs}); "
+                f"deduplicated in-batch (jobs={self.jobs}){resilience}; "
                 f"serial-equivalent {self.serial_seconds:.1f}s in "
                 f"{self.wall_seconds:.1f}s wall ({self.speedup:.2f}x)")
 
@@ -195,15 +205,41 @@ class Runner:
       processes and invocations;
     * pooling — with ``jobs > 1``, cache misses fan out over a
       ``ProcessPoolExecutor``.
+
+    Resilience (all modes return results in spec order, always):
+
+    * a spec whose simulation raises produces a structured
+      :attr:`RunResult.error` record instead of aborting the batch
+      (``fail_fast=True`` restores the old raise-through behavior);
+    * specs lost to a *crashed* pool worker (``BrokenProcessPool`` — the
+      worker died, nothing deterministic about the spec) are re-submitted
+      to a fresh pool up to ``retries`` times with exponential backoff,
+      logged on stderr;
+    * ``timeout`` arms a pooled-progress watchdog: if no outstanding
+      future completes for ``timeout`` seconds, the still-running specs
+      are abandoned (their workers cannot be killed, only orphaned) and
+      reported as ``error.type == "Timeout"``.  Serial execution cannot
+      be interrupted, so the watchdog applies to pooled runs only.
+
+    Error results are never written to the disk cache and never
+    memoized, so a failed spec is re-attempted on the next batch.
     """
 
     def __init__(self, jobs: int = 1, cache=None, memoize: bool = True,
-                 config_overrides: Optional[Dict[str, Any]] = None):
+                 config_overrides: Optional[Dict[str, Any]] = None,
+                 timeout: Optional[float] = None, retries: int = 2,
+                 retry_backoff: float = 0.5, fail_fast: bool = False):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
         self.jobs = jobs
         self.cache = cache
         self.memoize = memoize
+        self.timeout = timeout
+        self.retries = retries
+        self.retry_backoff = retry_backoff
+        self.fail_fast = fail_fast
         #: machine-config fields forced onto every spec this Runner
         #: executes (e.g. ``{"check": True}`` for sanitized runs).  They
         #: participate in spec identity, so checked and unchecked results
@@ -255,17 +291,25 @@ class Runner:
             misses = pending
 
         if len(misses) > 1 and self.jobs > 1:
-            self._execute_pooled(misses, results)
+            self._execute_pooled(misses, results, stats)
         else:
             for spec in misses:
-                results[spec] = execute_spec(spec)
+                try:
+                    results[spec] = execute_spec(spec)
+                except Exception as exc:
+                    if self.fail_fast:
+                        raise
+                    results[spec] = self._error_result(spec, exc)
         stats.executed = len(misses)
+        stats.failed = sum(1 for spec in misses
+                           if results[spec].error is not None)
 
         for spec in misses:
-            if self.cache is not None:
+            if self.cache is not None and results[spec].error is None:
                 self.cache.put(spec.key(), results[spec])
         if self.memoize:
-            self._memo.update(results)
+            self._memo.update({s: r for s, r in results.items()
+                               if r.error is None})
 
         stats.serial_seconds = sum(results[s].wall_seconds for s in set(specs))
         stats.wall_seconds = time.perf_counter() - started
@@ -273,18 +317,102 @@ class Runner:
         self.total_stats = self.total_stats.merged_with(stats)
         return [results[spec] for spec in specs]
 
+    # ------------------------------------------------------------------
+    # Pooled execution with crash retry and a progress watchdog
+    # ------------------------------------------------------------------
     def _execute_pooled(self, misses: List[RunSpec],
-                        results: Dict[RunSpec, RunResult]) -> None:
-        workers = min(self.jobs, len(misses))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+                        results: Dict[RunSpec, RunResult],
+                        stats: BatchStats) -> None:
+        remaining = list(misses)
+        attempt = 0
+        while remaining:
+            crashed = self._pool_round(remaining, results, attempt)
+            if not crashed:
+                return
+            if attempt >= self.retries:
+                for spec in crashed:
+                    exc = BrokenProcessPool(
+                        f"worker crashed {attempt + 1} time(s) running "
+                        f"{spec.label()}")
+                    if self.fail_fast:
+                        raise exc
+                    results[spec] = self._error_result(
+                        spec, exc, attempts=attempt + 1)
+                return
+            attempt += 1
+            stats.retried += len(crashed)
+            delay = self.retry_backoff * (2 ** (attempt - 1))
+            print(f"[runner] {len(crashed)} spec(s) lost to a crashed pool "
+                  f"worker; retry {attempt}/{self.retries} in {delay:.1f}s: "
+                  + ", ".join(spec.label() for spec in crashed),
+                  file=sys.stderr)
+            time.sleep(delay)
+            remaining = crashed
+
+    def _pool_round(self, specs: List[RunSpec],
+                    results: Dict[RunSpec, RunResult],
+                    attempt: int) -> List[RunSpec]:
+        """Run ``specs`` through one fresh pool; returns the specs lost
+        to crashed workers (the caller decides whether to retry them).
+
+        Deterministic worker exceptions become error results immediately
+        (re-running the same simulation would raise the same way).  The
+        progress watchdog fires when no future completes for
+        ``self.timeout`` seconds; undone specs are then abandoned — their
+        processes cannot be killed through the executor API, so the pool
+        is shut down without waiting and the workers are orphaned.
+        """
+        crashed: List[RunSpec] = []
+        workers = min(self.jobs, len(specs))
+        pool = ProcessPoolExecutor(max_workers=workers)
+        try:
             future_spec = {pool.submit(_pool_worker, spec): spec
-                           for spec in misses}
+                           for spec in specs}
             not_done = set(future_spec)
             while not_done:
-                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                done, not_done = wait(not_done, timeout=self.timeout,
+                                      return_when=FIRST_COMPLETED)
+                if not done:
+                    # Watchdog: no progress for `timeout` seconds.
+                    hung = sorted((future_spec[f].label() for f in not_done))
+                    if self.fail_fast:
+                        raise TimeoutError(
+                            f"no pool progress for {self.timeout}s; "
+                            f"outstanding: {', '.join(hung)}")
+                    print(f"[runner] watchdog: no pool progress for "
+                          f"{self.timeout}s; abandoning {', '.join(hung)}",
+                          file=sys.stderr)
+                    for future in not_done:
+                        spec = future_spec[future]
+                        results[spec] = self._error_result(
+                            spec, TimeoutError(
+                                f"no progress for {self.timeout}s"),
+                            attempts=attempt + 1)
+                    break
                 for future in done:
                     spec = future_spec[future]
-                    results[spec] = RunResult.from_dict(future.result())
+                    try:
+                        results[spec] = RunResult.from_dict(future.result())
+                    except BrokenProcessPool:
+                        crashed.append(spec)
+                    except Exception as exc:
+                        if self.fail_fast:
+                            raise
+                        results[spec] = self._error_result(
+                            spec, exc, attempts=attempt + 1)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        return crashed
+
+    @staticmethod
+    def _error_result(spec: RunSpec, exc: BaseException,
+                      attempts: int = 1) -> RunResult:
+        """Structured per-spec failure record (never cached/memoized)."""
+        return RunResult(
+            workload=spec.workload, mode=spec.mode, n_cmps=spec.n_cmps,
+            exec_cycles=0, policy=spec.policy,
+            error={"type": type(exc).__name__, "message": str(exc),
+                   "attempts": attempts, "spec": spec.label()})
 
 
 def run_batch(specs: Sequence[RunSpec], jobs: int = 1,

@@ -1,0 +1,148 @@
+"""Deterministic, seeded fault-decision engine.
+
+A :class:`FaultInjector` is the single source of every injected fault in a
+simulation.  It is installed on the :class:`~repro.sim.engine.Engine`
+before the machine is assembled (``Engine.install_faults``, mirroring how
+``repro.check`` installs), and the components that can fail — the network,
+the coherence fabric, the processors, and the slipstream pairs — capture
+the reference at construction time and *ask* it at each potential fault
+site.  With no injector installed every hook site is a single ``is None``
+test, so fault-free simulations are bit-identical to a build without the
+subsystem.
+
+Determinism contract:
+
+* every fault domain draws from its own ``random.Random`` stream, seeded
+  by the string ``f"{fault_seed}:{domain}"`` — stable across platforms
+  and independent of ``PYTHONHASHSEED``.  Per-entity domains (one stream
+  per CPU, per pair) keep one component's draw count from perturbing
+  another's schedule;
+* decisions depend only on ``(config, call sequence)``, and the simulator
+  itself is deterministic, so a fixed ``(seed, fault_seed)`` reproduces
+  the identical fault schedule — and therefore the identical run —
+  bit for bit;
+* every fault that actually *fires* is folded into a SHA-256
+  :attr:`schedule fingerprint <FaultInjector.fingerprint>`, giving a
+  stable id for "same faults happened in the same order".  Two runs with
+  different fault seeds (and nonzero rates) fingerprint differently.
+
+A rate of ``0.0`` for a model short-circuits before any RNG draw, so a
+config with ``faults=True`` but every rate zero injects nothing, draws
+nothing, and leaves timing untouched (pinned by the golden tests).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from collections import Counter
+from typing import Dict
+
+
+class FaultInjector:
+    """Seeded oracle answering "does this fault fire here?" questions."""
+
+    def __init__(self, config):
+        self.config = config
+        self._streams: Dict[str, random.Random] = {}
+        self._digest = hashlib.sha256()
+        self.events = 0
+        #: fired-fault counts per model (not per *decision*: clean draws
+        #: are not counted, so an all-zero Counter means no fault fired)
+        self.counts: Counter = Counter()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _rng(self, domain: str) -> random.Random:
+        rng = self._streams.get(domain)
+        if rng is None:
+            rng = random.Random(f"{self.config.fault_seed}:{domain}")
+            self._streams[domain] = rng
+        return rng
+
+    def _record(self, kind: str, detail: str) -> None:
+        self.counts[kind] += 1
+        self.events += 1
+        self._digest.update(f"{kind}:{detail}\n".encode())
+
+    # ------------------------------------------------------------------
+    # Network perturbation
+    # ------------------------------------------------------------------
+    def net_jitter(self, src: int, dst: int) -> int:
+        """Extra in-flight cycles for one message (0 = no jitter)."""
+        rate = self.config.fault_net_jitter_rate
+        if rate <= 0.0 or self.config.fault_net_jitter_max <= 0:
+            return 0
+        rng = self._rng("net-jitter")
+        if rng.random() >= rate:
+            return 0
+        extra = 1 + rng.randrange(self.config.fault_net_jitter_max)
+        self._record("net_jitter", f"{src}->{dst}:{extra}")
+        return extra
+
+    def net_drop(self, src: int, dst: int, attempt: int) -> bool:
+        """Transient loss of a request message (surfaced as a NACK)."""
+        rate = self.config.fault_net_drop_rate
+        if rate <= 0.0:
+            return False
+        if self._rng("net-drop").random() >= rate:
+            return False
+        self._record("net_drop", f"{src}->{dst}#{attempt}")
+        return True
+
+    # ------------------------------------------------------------------
+    # A-stream corruption
+    # ------------------------------------------------------------------
+    def token_loss(self, task_id: int) -> bool:
+        """An A-R token inserted by the R-stream is lost in flight."""
+        rate = self.config.fault_token_loss_rate
+        if rate <= 0.0:
+            return False
+        if self._rng(f"tok:{task_id}").random() >= rate:
+            return False
+        self._record("token_loss", f"pair{task_id}")
+        return True
+
+    def astream_corrupt(self, task_id: int, session: int) -> bool:
+        """Force a control deviation in the A-stream at this sync point."""
+        rate = self.config.fault_astream_corrupt_rate
+        if rate <= 0.0:
+            return False
+        if self._rng(f"ast:{task_id}").random() >= rate:
+            return False
+        self._record("astream_corrupt", f"pair{task_id}@s{session}")
+        return True
+
+    # ------------------------------------------------------------------
+    # Processor slowdown
+    # ------------------------------------------------------------------
+    def cpu_stall(self, node_id: int, proc_idx: int) -> int:
+        """Transient per-CPU stall in cycles (0 = none)."""
+        rate = self.config.fault_cpu_stall_rate
+        if rate <= 0.0:
+            return 0
+        if self._rng(f"cpu:{node_id}.{proc_idx}").random() >= rate:
+            return 0
+        cycles = self.config.fault_cpu_stall_cycles
+        self._record("cpu_stall", f"cpu{node_id}.{proc_idx}:{cycles}")
+        return cycles
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    @property
+    def fingerprint(self) -> str:
+        """SHA-256 over every fired fault, in firing order."""
+        return self._digest.hexdigest()
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-able stats: per-model fire counts + schedule fingerprint."""
+        data: Dict[str, object] = {k: v for k, v in sorted(self.counts.items())}
+        data["events"] = self.events
+        data["fingerprint"] = self.fingerprint
+        return data
+
+    def __repr__(self) -> str:
+        return (f"<FaultInjector seed={self.config.fault_seed} "
+                f"events={self.events}>")

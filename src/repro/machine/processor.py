@@ -49,10 +49,13 @@ class Processor:
         self.breakdown = TimeBreakdown()
         self._acc = 0  # accumulated local delay not yet turned into sim time
         self.finish_time: Optional[int] = None
+        #: fault injector (None in fault-free builds; see repro.faults)
+        self._faults = engine.faults
         # statistics
         self.ops = 0
         self.loads = 0
         self.stores = 0
+        self.fault_stalls = 0
 
     # ------------------------------------------------------------------
     # Local time accumulation
@@ -67,6 +70,19 @@ class Processor:
         self.breakdown.busy += cycles   # hot path: direct attribute bump
         self._acc += cycles
 
+    def _maybe_stall(self) -> None:
+        """Transient fault-injected CPU stall (one opportunity per mem op).
+
+        The stall joins the accumulated local delay, so it is flushed
+        before the op's globally-visible action, and is charged to the
+        stall category rather than busy time.
+        """
+        stall = self._faults.cpu_stall(self.ctrl.node_id, self.proc_idx)
+        if stall:
+            self.fault_stalls += 1
+            self.breakdown.add("stall", stall)
+            self._acc += stall
+
     # ------------------------------------------------------------------
     # Memory operations
     # ------------------------------------------------------------------
@@ -77,6 +93,8 @@ class Processor:
         self.loads += 1
         self.breakdown.busy += 1
         self._acc += 1
+        if self._faults is not None:
+            self._maybe_stall()
         line_addr = self.space.line_of(addr)
         l1 = self.ctrl.l1s[self.proc_idx]
         if l1.lookup(line_addr) is not None:
@@ -95,6 +113,8 @@ class Processor:
         self.stores += 1
         self.breakdown.busy += 1
         self._acc += 1
+        if self._faults is not None:
+            self._maybe_stall()
         line_addr = self.space.line_of(addr)
         if self.ctrl.try_fast_store(self.proc_idx, role, line_addr,
                                     in_critical_section):

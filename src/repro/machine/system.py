@@ -46,6 +46,13 @@ class System:
             from repro.check import CheckerSuite
             self.checker = CheckerSuite(self.engine, tracer=self.tracer)
             self.engine.install_checker(self.checker)
+        #: fault injector (repro.faults); like the checker, installed
+        #: before the fabric and nodes are built so they capture it
+        self.faults = None
+        if config.faults:
+            from repro.faults import FaultInjector
+            self.faults = FaultInjector(config)
+            self.engine.install_faults(self.faults)
         self.space = AddressSpace(config.n_cmps, config.line_size,
                                   config.page_size)
         self.allocator = SharedAllocator(self.space)

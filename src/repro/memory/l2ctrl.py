@@ -98,6 +98,11 @@ class L2Controller:
         self.si_stale_hints = 0
         self.prefetches_issued = 0
         self.prefetches_dropped = 0
+        #: fault-injection resilience counters: coherence-request NACK
+        #: retries handled by this node, and watchdog escalations to
+        #: guaranteed delivery (see CoherenceFabric._request_hop)
+        self.net_retries = 0
+        self.watchdog_trips = 0
 
     # ------------------------------------------------------------------
     # Classification helpers (exactly-once per fill, via line flags)

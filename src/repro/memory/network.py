@@ -30,10 +30,14 @@ class Network:
             Resource(engine, f"net-out[{i}]") for i in range(n_nodes)]
         self.in_ports: List[Resource] = [
             Resource(engine, f"net-in[{i}]") for i in range(n_nodes)]
+        #: fault injector, if one was installed on the engine before the
+        #: machine was assembled (see repro.faults)
+        self.faults = engine.faults
         # statistics
         self.messages = 0
         self.data_messages = 0
         self.ctrl_messages = 0
+        self.jitter_cycles = 0
 
     def _occupancy(self, data: bool) -> int:
         return self.port_data_occupancy if data else self.port_ctrl_occupancy
@@ -55,8 +59,14 @@ class Network:
             return
         self._count(data)
         occupancy = self._occupancy(data)
+        flight = self.net_time
+        if self.faults is not None:
+            extra = self.faults.net_jitter(src, dst)
+            if extra:
+                self.jitter_cycles += extra
+                flight += extra
         yield self.out_ports[src].pass_through(occupancy)
-        yield Timeout(self.net_time)
+        yield Timeout(flight)
         yield self.in_ports[dst].pass_through(occupancy)
 
     def post_transfer(self, src: int, dst: int, data: bool = False) -> None:

@@ -81,6 +81,8 @@ class CoherenceFabric:
         self.checker = engine.checker
         if self.checker is not None:
             self.checker.attach_fabric(self)
+        #: fault injector, if one was installed before machine assembly
+        self.faults = engine.faults
         self.directory = DirectoryState(engine)
         self.network = Network(
             engine, config.n_cmps, config.net_time,
@@ -145,7 +147,7 @@ class CoherenceFabric:
             yield self.dcs[node].serve(config.pi_local_dc_time)
         else:
             yield self.dcs[node].serve(config.pi_remote_dc_time)
-            yield from self.network.transfer(node, home, data=False)
+            yield from self._request_hop(node, home)
             yield self.dcs[home].serve(config.ni_local_dc_time)
 
         # Serialize on the line's directory entry.
@@ -174,6 +176,43 @@ class CoherenceFabric:
         yield Timeout(config.bus_time)
         result.local = local
         return result
+
+    def _request_hop(self, node: int, home: int) -> Generator:
+        """Deliver a coherence *request* message ``node -> home``.
+
+        This is the only hop the fault layer may drop: the request has not
+        yet reached the directory, so losing it corrupts no protocol state
+        — it is exactly a late first attempt.  A drop surfaces at the
+        requester as a NACK after a round-trip detection delay; the
+        requester retries with bounded exponential backoff.  A watchdog
+        (``fault_net_max_retries`` attempts or ``fault_net_watchdog``
+        cycles, whichever first) escalates to guaranteed delivery, so
+        forward progress holds even at drop rate 1.0.
+        """
+        faults = self.faults
+        if faults is not None and self.config.fault_net_drop_rate > 0.0:
+            config = self.config
+            deadline = self.engine.now + config.fault_net_watchdog
+            attempt = 0
+            while (attempt < config.fault_net_max_retries
+                   and self.engine.now < deadline
+                   and faults.net_drop(node, home, attempt)):
+                # NACK: round-trip detection + exponential backoff.  The
+                # controller at `node` handles the NACK (retry bookkeeping
+                # is charged to that node's L2 controller).
+                ctrl = self._nodes.get(node)
+                if ctrl is not None:
+                    ctrl.net_retries += 1
+                backoff = min(config.fault_net_backoff_base << min(attempt, 16),
+                              config.fault_net_backoff_cap)
+                attempt += 1
+                yield Timeout(2 * config.net_time + backoff)
+            if attempt and (attempt >= config.fault_net_max_retries
+                            or self.engine.now >= deadline):
+                ctrl = self._nodes.get(node)
+                if ctrl is not None:
+                    ctrl.watchdog_trips += 1
+        yield from self.network.transfer(node, home, data=False)
 
     # ------------------------------------------------------------------
     # Directory-side actions (run while holding the line guard)

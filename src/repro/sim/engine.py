@@ -52,6 +52,8 @@ class Engine:
         #: optional invariant-checker suite (see repro.check); None keeps
         #: every hook site in the simulator a single `is None` test
         self.checker = None
+        #: optional fault injector (see repro.faults); same None contract
+        self.faults = None
 
     def install_checker(self, checker) -> None:
         """Attach an invariant-checker suite (``repro.check.CheckerSuite``).
@@ -61,6 +63,15 @@ class Engine:
         checker reference at construction time.
         """
         self.checker = checker
+
+    def install_faults(self, injector) -> None:
+        """Attach a fault injector (``repro.faults.FaultInjector``).
+
+        Like :meth:`install_checker`, this must happen before the machine
+        components are constructed — the network, fabric, processors, and
+        slipstream pairs capture the injector reference at construction.
+        """
+        self.faults = injector
 
     # ------------------------------------------------------------------
     # Scheduling

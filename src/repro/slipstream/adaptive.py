@@ -33,6 +33,7 @@ thresholds.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -122,3 +123,100 @@ class AdaptiveController:
     @property
     def switches(self) -> int:
         return len(self.history)
+
+
+@dataclass
+class DegradationEvent:
+    """One demotion or re-promotion, for reporting."""
+
+    session: int
+    action: str  # 'demote' | 'promote'
+    reforks_in_window: int = 0
+
+
+class DegradationController:
+    """Graceful degradation: slipstream -> conventional execution.
+
+    A pair whose A-stream keeps deviating is paying the refork cost
+    (``recovery_fork_cycles``) without delivering prefetch benefit.  This
+    controller watches the refork stream and, after ``after`` reforks
+    within a window of ``window`` R-stream sessions, *demotes* the pair:
+    the deviated A-stream is not reforked and the R-stream continues as a
+    conventional task with the second processor idle (task decomposition
+    is fixed at fork time, so the node cannot pick up an extra independent
+    task mid-run; demoted execution is therefore single-mode-like for the
+    pair).  After ``repromote_after`` clean sessions the pair is
+    re-promoted — the A-stream is respawned at the R-stream's current
+    session through the same machinery recovery uses
+    (:meth:`~repro.slipstream.pair.SlipstreamPair.respawn_astream`), so
+    the checker's refork invariants apply to promotions too.
+    ``repromote_after=0`` makes demotion permanent for the run.
+    """
+
+    def __init__(self, pair, after: int, window: int,
+                 repromote_after: int = 0):
+        self.pair = pair
+        self.after = after
+        self.window = window
+        self.repromote_after = repromote_after
+        self._refork_sessions: deque = deque()
+        self.demoted_at: Optional[int] = None
+        self.demotions = 0
+        self.promotions = 0
+        self.history: List[DegradationEvent] = []
+
+    # ------------------------------------------------------------------
+    def on_recovery(self, session: int) -> bool:
+        """A refork is about to happen at R-stream ``session``.
+
+        Returns True when the pair should demote instead of reforking.
+        """
+        if self.after <= 0:
+            return False
+        if self.pair.degraded:
+            return True
+        window = self._refork_sessions
+        window.append(session)
+        while window and window[0] < session - self.window:
+            window.popleft()
+        if len(window) >= self.after:
+            self._demote(session, len(window))
+            return True
+        return False
+
+    def on_session_end(self) -> None:
+        """Called by the pair after every completed R-stream session."""
+        if not self.pair.degraded or self.repromote_after <= 0:
+            return
+        pair = self.pair
+        if pair.shutdown or self.demoted_at is None:
+            return
+        if pair.r_session - self.demoted_at >= self.repromote_after:
+            self._promote(pair.r_session)
+
+    # ------------------------------------------------------------------
+    def _demote(self, session: int, reforks: int) -> None:
+        pair = self.pair
+        pair.degraded = True
+        pair.abort_requested = False  # the old A-stream already exited
+        pair.tokens.drain()           # nobody left to consume
+        self.demotions += 1
+        self.demoted_at = session
+        self._refork_sessions.clear()
+        self.history.append(DegradationEvent(session, "demote", reforks))
+        if pair.tracer is not None:
+            pair.tracer.record("demote", f"pair{pair.task_id}",
+                               f"session={session} reforks={reforks}")
+
+    def _promote(self, session: int) -> None:
+        pair = self.pair
+        if pair.spawn_astream is None:
+            return
+        pair.degraded = False
+        self.promotions += 1
+        self.demoted_at = None
+        self.history.append(DegradationEvent(session, "promote"))
+        if pair.tracer is not None:
+            pair.tracer.record("promote", f"pair{pair.task_id}",
+                               f"session={session}")
+        pair.respawn_astream()

@@ -45,10 +45,13 @@ class AStreamExecutor(TaskExecutor):
                          name=name or f"task{ctx.task_id}(A)")
         self.pair = pair
         self._input_seq = pair.a_input_seq_base
+        #: fault injector (None in fault-free builds; see repro.faults)
+        self._faults = processor.engine.faults
         # statistics
         self.stores_skipped = 0
         self.stores_converted = 0
         self.transparent_loads = 0
+        self.corruptions = 0
 
     # ------------------------------------------------------------------
     # Main loop: like TaskExecutor's, plus cooperative abort.
@@ -101,9 +104,32 @@ class AStreamExecutor(TaskExecutor):
     # Synchronization: token consumption instead of the real routine
     # ------------------------------------------------------------------
     def _consume_token(self) -> Generator:
+        if self._faults is not None and self._faults.astream_corrupt(
+                self.pair.task_id, self.pair.a_session):
+            yield from self._wander()
+            return
         yield from self.processor.timed_wait(
             self.pair.a_consume_token(), "arsync")
         self.session = self.pair.a_session
+
+    def _wander(self) -> Generator:
+        """Injected control deviation: the A-stream leaves the task's path.
+
+        A corrupted A-stream executes junk instead of reaching its sync
+        point, so it never consumes another token and its session count
+        freezes.  The R-stream's deviation check then sees the growing lag
+        and drives the real recovery path (kill at an op boundary, refork
+        at the R-stream's session).  The loop stays cooperative so the
+        kill can land, and also exits on end-of-run shutdown.
+        """
+        self.corruptions += 1
+        pair = self.pair
+        if pair.tracer is not None:
+            pair.tracer.record("corrupt", f"pair{pair.task_id}",
+                               f"a_session={pair.a_session}")
+        while not pair.abort_requested and not pair.shutdown:
+            self.processor.do_compute(64)
+            yield from self.processor.flush()
 
     def _on_barrier(self, operation) -> Generator:
         yield from self._consume_token()

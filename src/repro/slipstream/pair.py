@@ -98,9 +98,17 @@ class SlipstreamPair:
         self.checker = engine.checker
         if self.checker is not None:
             self.checker.register_pair(self)
+        #: fault injector, when the engine has one installed
+        self.faults = engine.faults
+        #: graceful degradation: True while the pair runs demoted to
+        #: conventional (A-processor idle) execution
+        self.degraded = False
+        #: optional DegradationController (wired by the mode runner)
+        self.degradation = None
         # statistics
         self.tokens_inserted = 0
         self.a_token_waits = 0
+        self.tokens_lost = 0
 
     # ------------------------------------------------------------------
     # Session queries (used by the A-stream's reduction decisions)
@@ -118,8 +126,17 @@ class SlipstreamPair:
     # Token protocol (Figure 3)
     # ------------------------------------------------------------------
     def insert_token(self) -> None:
+        if self.degraded:
+            return  # no A-stream to feed while demoted
         if self.token_debt > 0:
             self.token_debt -= 1
+            return
+        if self.faults is not None and self.faults.token_loss(self.task_id):
+            # Lost in flight: never released and never booked as inserted,
+            # so the checker's conservation ledger stays exact.  The
+            # A-stream simply waits for the next session's token (or, if
+            # none comes, lags into deviation and gets reforked).
+            self.tokens_lost += 1
             return
         self.tokens_inserted += 1
         self.tokens.release()
@@ -138,6 +155,8 @@ class SlipstreamPair:
             self.insert_token()
         if self.adaptive is not None:
             self.adaptive.on_session_end()
+        if self.degradation is not None:
+            self.degradation.on_session_end()
         if self.prefetcher is not None:
             self.prefetcher.on_r_session_enter(self.r_session)
 
@@ -180,6 +199,8 @@ class SlipstreamPair:
         the end of a session: the A-stream is deviated if it lags by at
         least ``deviation_lag_sessions`` sessions (see MachineConfig for
         why the default grace is one session, not the paper's zero)."""
+        if self.degraded:
+            return False  # no A-stream to deviate while demoted
         lag = self.r_session - self.a_reached
         return lag >= self.config.deviation_lag_sessions
 
@@ -187,7 +208,7 @@ class SlipstreamPair:
         """Kill the A-stream (cooperatively) and refork it at the
         R-stream's current position.  Runs asynchronously; the R-stream
         does not block."""
-        if self._recovering or self.spawn_astream is None:
+        if self._recovering or self.degraded or self.spawn_astream is None:
             return
         self._recovering = True
         self.recoveries += 1
@@ -204,21 +225,33 @@ class SlipstreamPair:
                 yield old.process  # join: the A-stream exits at an op boundary
             # Task re-creation cost.
             yield Timeout(self.config.recovery_fork_cycles)
-            if self.shutdown:
-                self._recovering = False
-                return
-            target = self.r_session
-            counters = {}
-            program = fast_forward(self.make_program(), target, counters)
-            self.a_input_seq_base = counters.get("inputs", 0)
-            self.tokens.drain()
-            self.tokens.release(self.policy.initial_tokens)
-            self.a_session = target
-            self.a_reached = target
-            self.abort_requested = False
             self._recovering = False
-            self.a_executor = self.spawn_astream(self, program)
-            if self.checker is not None:
-                self.checker.on_refork(self)
+            if self.shutdown:
+                return
+            if self.degradation is not None \
+                    and self.degradation.on_recovery(self.r_session):
+                return  # demoted instead of reforked
+            self.respawn_astream()
 
         Process(self.engine, supervise(), name=f"recover[{self.task_id}]")
+
+    def respawn_astream(self) -> None:
+        """(Re)create the A-stream at the R-stream's current session.
+
+        Shared by deviation recovery and by re-promotion after graceful
+        degradation: fast-forwards a fresh program to the R-stream's
+        session, realigns the input-forwarding sequence, resets the token
+        bucket to the policy's initial depth, and spawns the executor.
+        """
+        target = self.r_session
+        counters = {}
+        program = fast_forward(self.make_program(), target, counters)
+        self.a_input_seq_base = counters.get("inputs", 0)
+        self.tokens.drain()
+        self.tokens.release(self.policy.initial_tokens)
+        self.a_session = target
+        self.a_reached = target
+        self.abort_requested = False
+        self.a_executor = self.spawn_astream(self, program)
+        if self.checker is not None:
+            self.checker.on_refork(self)

@@ -92,3 +92,17 @@ def test_checkers_do_not_change_golden_numbers(mode):
     assert result.exec_cycles == cycles
     assert result.cache_totals == totals
     assert result.check_stats and sum(result.check_stats.values()) > 0
+
+
+@pytest.mark.parametrize("mode", ["single", "double", "slipstream"])
+def test_fault_hooks_at_zero_rates_do_not_change_golden_numbers(mode):
+    """Installing the fault injector with every rate at zero must be
+    timing-neutral: the hooks short-circuit before any RNG draw, so the
+    pinned numbers reproduce bit for bit."""
+    config = scaled_config(N_CMPS, faults=True)
+    result = run_mode(TINY["sor"](), config, mode)
+    cycles, totals = GOLDEN[("sor", mode)]
+    assert result.exec_cycles == cycles
+    assert result.cache_totals == totals
+    assert result.fault_stats is not None
+    assert result.fault_stats["events"] == 0

@@ -115,10 +115,40 @@ def test_unreadable_entry_shapes_degrade_to_miss(payload, tmp_path):
     assert revived.exec_cycles == result.exec_cycles
 
 
+def test_corrupt_entry_is_quarantined_not_reparsed(tmp_path):
+    """A broken entry must be renamed to ``*.json.corrupt`` on first
+    read — kept for inspection, never parsed (and rejected) again."""
+    cache = ResultCache(tmp_path)
+    key = spec().key()
+    path = tmp_path / f"{key}.json"
+    path.write_text("{not json")
+    assert cache.get(key) is None
+    assert cache.quarantined == 1
+    assert not path.exists()
+    assert path.with_name(f"{key}.json.corrupt").exists()
+    assert len(cache) == 0                 # quarantined files don't count
+    # second miss is a plain stat failure: nothing new to quarantine
+    assert cache.get(key) is None
+    assert cache.quarantined == 1
+    # a fresh put then serves hits again, leaving the evidence in place
+    cache.put(key, execute_spec(spec()))
+    assert cache.get(key) is not None
+    assert path.with_name(f"{key}.json.corrupt").exists()
+
+
 def test_clear_removes_entries(tmp_path):
     cache = ResultCache(tmp_path)
     cache.put(spec().key(), execute_spec(spec()))
     assert cache.clear() == 1 and len(cache) == 0
+
+
+def test_clear_removes_quarantined_files(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = spec().key()
+    (tmp_path / f"{key}.json").write_text("garbage")
+    assert cache.get(key) is None
+    assert cache.clear() == 0              # no live entries, corpse removed
+    assert list(tmp_path.glob("*.corrupt")) == []
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,167 @@
+"""Tests for the Runner's failure handling.
+
+Covers structured per-spec error records (serial and pooled), the
+``fail_fast`` raise-through mode, crash retry with backoff for specs
+lost to a broken pool worker, the pooled-progress watchdog, and the
+rule that error results are never cached or memoized.
+"""
+
+import pytest
+
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.driver import DOUBLE, SINGLE
+from repro.experiments.runner import BatchStats, Runner, RunSpec
+
+
+def spec(mode=SINGLE, name="sor", n=2, **kw) -> RunSpec:
+    return RunSpec(workload=name, mode=mode, n_cmps=n, **kw)
+
+
+def boom(run_spec):
+    raise ValueError(f"injected failure for {run_spec.label()}")
+
+
+# ----------------------------------------------------------------------
+# Serial execution: structured error records
+# ----------------------------------------------------------------------
+def test_serial_failure_yields_structured_error(monkeypatch):
+    monkeypatch.setattr("repro.experiments.runner.execute_spec", boom)
+    runner = Runner()
+    result = runner.run_batch([spec()])[0]
+    assert result.error is not None
+    assert result.error["type"] == "ValueError"
+    assert "injected failure" in result.error["message"]
+    assert result.error["spec"] == spec().label()
+    assert runner.last_stats.failed == 1
+
+
+def test_serial_fail_fast_raises(monkeypatch):
+    monkeypatch.setattr("repro.experiments.runner.execute_spec", boom)
+    with pytest.raises(ValueError):
+        Runner(fail_fast=True).run_batch([spec()])
+
+
+def test_error_results_are_not_cached_or_memoized(tmp_path, monkeypatch):
+    cache = ResultCache(tmp_path)
+    runner = Runner(cache=cache)
+    monkeypatch.setattr("repro.experiments.runner.execute_spec", boom)
+    assert runner.run_batch([spec()])[0].error is not None
+    assert len(cache) == 0 and cache.writes == 0
+    # heal the fault: the same Runner must re-attempt, not serve the error
+    monkeypatch.undo()
+    result = runner.run_batch([spec()])[0]
+    assert result.error is None and result.exec_cycles > 0
+    assert runner.last_stats.memo_hits == 0
+    assert runner.last_stats.executed == 1
+    assert len(cache) == 1
+
+
+# ----------------------------------------------------------------------
+# Pooled execution: deterministic worker errors
+# ----------------------------------------------------------------------
+def test_pooled_worker_error_recorded_in_order():
+    """An unknown workload raises inside the pool worker: that is a
+    deterministic failure, so it becomes an error result immediately
+    (no retry) while the healthy specs complete normally."""
+    runner = Runner(jobs=2)
+    good, bad = spec(), spec(name="no-such-workload", mode=DOUBLE)
+    results = runner.run_batch([good, bad])
+    assert results[0].error is None and results[0].exec_cycles > 0
+    assert results[1].error is not None
+    assert results[1].error["type"] == "KeyError"
+    assert runner.last_stats.failed == 1
+    assert runner.last_stats.retried == 0
+
+
+def test_pooled_fail_fast_raises():
+    runner = Runner(jobs=2, fail_fast=True)
+    with pytest.raises(KeyError):
+        runner.run_batch([spec(), spec(name="no-such-workload", mode=DOUBLE)])
+
+
+# ----------------------------------------------------------------------
+# Crash retry: specs lost to a dead worker are re-submitted
+# ----------------------------------------------------------------------
+def test_crashed_specs_are_retried(monkeypatch, capsys):
+    runner = Runner(jobs=2, retry_backoff=0.01)
+    real = runner._pool_round
+
+    def crash_once(specs, results, attempt):
+        if attempt == 0:
+            return list(specs)  # simulate: every spec lost to a dead worker
+        return real(specs, results, attempt)
+
+    monkeypatch.setattr(runner, "_pool_round", crash_once)
+    results = runner.run_batch([spec(), spec(mode=DOUBLE)])
+    assert all(r.error is None for r in results)
+    assert results[0].exec_cycles > 0
+    stats = runner.last_stats
+    assert stats.retried == 2 and stats.failed == 0
+    assert "retry 1/2" in capsys.readouterr().err
+
+
+def test_crash_retries_exhausted_become_errors(monkeypatch, capsys):
+    runner = Runner(jobs=2, retries=1, retry_backoff=0.01)
+    monkeypatch.setattr(runner, "_pool_round",
+                        lambda specs, results, attempt: list(specs))
+    results = runner.run_batch([spec(), spec(mode=DOUBLE)])
+    for result in results:
+        assert result.error is not None
+        assert result.error["type"] == "BrokenProcessPool"
+        assert result.error["attempts"] == 2  # initial try + 1 retry
+    assert runner.last_stats.failed == 2
+
+
+def test_crash_fail_fast_raises(monkeypatch):
+    runner = Runner(jobs=2, retries=0, fail_fast=True)
+    monkeypatch.setattr(runner, "_pool_round",
+                        lambda specs, results, attempt: list(specs))
+    with pytest.raises(BrokenProcessPool):
+        runner.run_batch([spec(), spec(mode=DOUBLE)])
+
+
+# ----------------------------------------------------------------------
+# Progress watchdog
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+def test_watchdog_abandons_stalled_pool(capsys):
+    """With a timeout far below worker start-up + simulation time, the
+    first wait() makes no progress and the watchdog must abandon the
+    batch with structured Timeout errors instead of hanging."""
+    runner = Runner(jobs=2, timeout=0.01)
+    results = runner.run_batch([spec(), spec(mode=DOUBLE)])
+    for result in results:
+        assert result.error is not None
+        assert result.error["type"] == "TimeoutError"
+    assert runner.last_stats.failed == 2
+    assert "watchdog" in capsys.readouterr().err
+
+
+@pytest.mark.slow
+def test_watchdog_fail_fast_raises():
+    runner = Runner(jobs=2, timeout=0.01, fail_fast=True)
+    with pytest.raises(TimeoutError):
+        runner.run_batch([spec(), spec(mode=DOUBLE)])
+
+
+# ----------------------------------------------------------------------
+# Constructor validation + stats plumbing
+# ----------------------------------------------------------------------
+def test_runner_rejects_negative_retries():
+    with pytest.raises(ValueError):
+        Runner(retries=-1)
+
+
+def test_batch_stats_summary_reports_resilience():
+    stats = BatchStats(total=3, unique=3, executed=3, failed=1, retried=2,
+                       jobs=2, serial_seconds=1.0, wall_seconds=1.0)
+    summary = stats.summary()
+    assert "1 failed" in summary and "2 retried" in summary
+
+
+def test_batch_stats_merge_accumulates_failures():
+    merged = BatchStats(failed=1, retried=1).merged_with(
+        BatchStats(failed=2, retried=0))
+    assert merged.failed == 3 and merged.retried == 1
