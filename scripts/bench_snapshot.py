@@ -13,7 +13,15 @@ plus a single-run engine microbenchmark
 measurements to ``BENCH_runner.json`` so future changes have a perf
 trajectory to compare against.
 
+``--obs`` instead times the observability spine's overhead on the same
+microbenchmark — obs-off (no spine at all), obs-attached-idle (spine
+present, zero subscribers), and obs-on (tracer + metrics + Perfetto
+exporter) — and writes ``BENCH_obs.json``.  The obs-off leg is the
+zero-overhead contract: it must stay within noise of the
+``engine_micro`` timing in ``BENCH_runner.json``.
+
 Run:  PYTHONPATH=src python scripts/bench_snapshot.py [--jobs 4]
+      PYTHONPATH=src python scripts/bench_snapshot.py --obs
 """
 
 import argparse
@@ -60,7 +68,7 @@ def time_fig1(jobs: int, cache_dir: Path) -> dict:
     }
 
 
-def time_micro(repeats: int = 3) -> dict:
+def time_micro(repeats: int = 3, **run_kwargs) -> dict:
     """Best-of-N wall time of one slipstream simulation (the engine
     hot-path microbenchmark the __slots__/heapq changes target)."""
     times = []
@@ -68,7 +76,7 @@ def time_micro(repeats: int = 3) -> dict:
     for _ in range(repeats):
         started = time.perf_counter()
         result = run_mode(make(MICRO_WORKLOAD), scaled_config(MICRO_CMPS),
-                          MICRO_MODE)
+                          MICRO_MODE, **run_kwargs)
         times.append(time.perf_counter() - started)
         cycles = result.exec_cycles
     return {
@@ -79,14 +87,68 @@ def time_micro(repeats: int = 3) -> dict:
     }
 
 
+def obs_snapshot(repeats: int, output: str) -> None:
+    """Time the spine's overhead on the engine microbenchmark and write
+    ``BENCH_obs.json``.  Verifies the cycle counts are identical across
+    configurations — the spine observes, it never changes timing."""
+    import tempfile as _tempfile
+
+    legs = {}
+    print(f"[1/3] obs off (no spine) ...", flush=True)
+    legs["obs_off"] = time_micro(repeats)
+    print(f"[2/3] spine attached, no subscribers ...", flush=True)
+    legs["obs_idle"] = time_micro(repeats, observe=True)
+    with _tempfile.TemporaryDirectory(prefix="bench-obs-") as tmp:
+        print(f"[3/3] obs on (tracer + metrics + Perfetto) ...", flush=True)
+        legs["obs_on"] = time_micro(
+            repeats, trace=True, metrics=True,
+            trace_out=str(Path(tmp) / "trace.json"))
+
+    assert legs["obs_off"]["exec_cycles"] == legs["obs_on"]["exec_cycles"], \
+        "observability must never change simulated timing"
+
+    off = legs["obs_off"]["best_seconds"]
+    on = legs["obs_on"]["best_seconds"]
+    snapshot = {
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "repeats": repeats,
+        "micro": legs,
+        "obs_on_overhead": round(on / off - 1.0, 3) if off else None,
+    }
+    baseline = Path("BENCH_runner.json")
+    if baseline.exists():
+        reference = json.loads(baseline.read_text()).get("engine_micro")
+        if reference:
+            snapshot["runner_baseline_seconds"] = reference["best_seconds"]
+            snapshot["obs_off_vs_baseline"] = round(
+                off / reference["best_seconds"] - 1.0, 3)
+    Path(output).write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(f"wrote {output}:")
+    print(f"  obs off   {off:8.3f}s")
+    print(f"  obs idle  {legs['obs_idle']['best_seconds']:8.3f}s")
+    print(f"  obs on    {on:8.3f}s  (+{snapshot['obs_on_overhead']:.1%})")
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--jobs", type=int, default=4,
                         help="worker count for the parallel leg (default 4)")
-    parser.add_argument("-o", "--output", default="BENCH_runner.json")
+    parser.add_argument("-o", "--output", default=None)
     parser.add_argument("--skip-micro", action="store_true",
                         help="skip the single-run engine microbenchmark")
+    parser.add_argument("--obs", action="store_true",
+                        help="time observability-spine overhead instead "
+                             "(writes BENCH_obs.json)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of-N repeats for the microbenchmarks")
     args = parser.parse_args()
+
+    if args.obs:
+        obs_snapshot(args.repeats, args.output or "BENCH_obs.json")
+        return
+    args.output = args.output or "BENCH_runner.json"
 
     snapshot = {
         "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),

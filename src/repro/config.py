@@ -146,6 +146,13 @@ class MachineConfig:
     #: default: checking observes every directory transaction and costs
     #: real wall-clock time, but never changes simulated timing.
     check: bool = False
+    #: enable push-style metrics on the observability spine (repro.obs):
+    #: hot components create registry handles (fetch-latency histograms,
+    #: labeled fill counters) and feed them inline.  Off by default — the
+    #: flag changes wall-clock cost only, never simulated timing — and,
+    #: being a config field, it participates in the result-cache key so
+    #: metric-bearing results never alias metric-free ones.
+    metrics: bool = False
 
     def __post_init__(self) -> None:
         if self.n_cmps < 1:

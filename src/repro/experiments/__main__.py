@@ -111,6 +111,15 @@ def main(argv=None) -> int:
                         help="pooled-run watchdog: abandon outstanding "
                              "simulations if no worker makes progress for "
                              "SEC seconds (jobs > 1 only)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="collect the observability spine's metrics "
+                             "registry for every simulation and embed the "
+                             "flat export in each result (never changes "
+                             "simulated timing; participates in cache keys)")
+    parser.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="write a Chrome/Perfetto trace (load at "
+                             "https://ui.perfetto.dev) of the final "
+                             "slipstream leg; fuzz experiment only")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the on-disk result cache")
     parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
@@ -137,9 +146,16 @@ def main(argv=None) -> int:
     if args.experiment == "fuzz":
         return _run_fuzz(args)
 
+    if args.trace_out is not None:
+        print("error: --trace-out applies to the fuzz experiment only",
+              file=sys.stderr)
+        return 2
+
     overrides = _fault_overrides(args)
     if args.check:
         overrides["check"] = True
+    if args.metrics:
+        overrides["metrics"] = True
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     runner = Runner(jobs=args.jobs, cache=cache,
                     config_overrides=overrides or None,
@@ -178,22 +194,32 @@ def _run_fuzz(args) -> int:
     runs = [("single", None), ("double", None)]
     runs += [("slipstream", policy) for policy in POLICIES]
     rows = {}
-    for mode, policy in runs:
-        config = scaled_config(n_cmps, check=True, **fault_overrides)
+    for index, (mode, policy) in enumerate(runs):
+        config = scaled_config(n_cmps, check=True, metrics=args.metrics,
+                               **fault_overrides)
         kwargs = {}
         label = mode
         if policy is not None:
             kwargs = dict(policy=policy, transparent=True, si=True)
             label = f"slipstream[{policy.name}+si]"
+        if args.trace_out is not None and index == len(runs) - 1:
+            # Trace the final leg (slipstream, tightest policy): the one
+            # whose timeline shows A-stream lead, L2 fills, and SI drains.
+            kwargs["trace_out"] = args.trace_out
         result = run_mode(Fuzz(seed=args.seed), config, mode, **kwargs)
         rows[label] = {
             "cycles": result.exec_cycles,
             "checks_fired": sum((result.check_stats or {}).values()),
         }
+        if args.metrics and result.metrics is not None:
+            rows[label]["metric_series"] = len(result.metrics)
         if fault_overrides:
             rows[label]["faults"] = (result.fault_stats or {}).get("events", 0)
             rows[label]["recoveries"] = result.recoveries
             rows[label]["demotions"] = result.demotions
+    if args.trace_out is not None:
+        print(f"[fuzz] wrote Perfetto trace: {args.trace_out}",
+              file=sys.stderr)
     fault_note = (f", faults={args.faults}(seed={args.fault_seed})"
                   if fault_overrides else "")
     if args.json:

@@ -35,7 +35,7 @@ from typing import Optional
 from repro.experiments.driver import RunResult
 
 #: bump when the serialized RunResult layout (or key payload) changes
-CACHE_FORMAT_VERSION = 3
+CACHE_FORMAT_VERSION = 4  # v4: RunResult.metrics + MachineConfig.metrics
 
 #: default cache location (overridable via the environment or --cache-dir)
 DEFAULT_CACHE_DIR = os.environ.get("REPRO_CACHE_DIR", ".repro-cache")

@@ -24,6 +24,8 @@ from typing import Dict, List, Optional
 
 from repro.config import MachineConfig
 from repro.machine.system import System
+from repro.obs.collect import (cache_totals_from, fabric_stats_from,
+                               run_registry)
 from repro.runtime.executor import TaskExecutor
 from repro.runtime.sync import SyncRegistry
 from repro.runtime.task import ROLE_A, ROLE_NORMAL, ROLE_R, TaskContext
@@ -83,6 +85,9 @@ class RunResult:
     #: machine-wide cache hit/miss totals (all modes; used by the golden
     #: end-state regression tests)
     cache_totals: Dict[str, int] = field(default_factory=dict)
+    #: flat metrics export from the observability spine (repro.obs),
+    #: series name -> value; None unless the run asked for metrics
+    metrics: Optional[Dict[str, float]] = None
     #: invariant-checker fire counts per check (check=True runs only)
     check_stats: Optional[Dict[str, int]] = None
     #: fault-injection summary: per-model fire counts + schedule
@@ -147,6 +152,11 @@ class RunResult:
         final = fields_in.get("final_policies")
         if final is not None:
             fields_in["final_policies"] = {int(k): v for k, v in final.items()}
+        metrics_blob = fields_in.get("metrics")
+        if metrics_blob is not None and not isinstance(metrics_blob, dict):
+            # Malformed cache entry; the result cache quarantines on this.
+            raise TypeError(
+                f"metrics must be a mapping, got {type(metrics_blob).__name__}")
         return cls(**fields_in)
 
 
@@ -167,7 +177,9 @@ def run_mode(workload, config: MachineConfig, mode: str,
              adaptive: bool = False, migratory: bool = False,
              forwarding: bool = False, speculative_barriers: bool = False,
              max_cycles: Optional[int] = None,
-             check: bool = False) -> RunResult:
+             check: bool = False, metrics: bool = False,
+             trace_out: Optional[str] = None,
+             observe: bool = False) -> RunResult:
     """Simulate ``workload`` under ``mode`` on a machine built from
     ``config``; returns the collected :class:`RunResult`.
 
@@ -176,6 +188,12 @@ def run_mode(workload, config: MachineConfig, mode: str,
     drain (Section 4.2) and implies ``transparent``.  ``check`` (or
     ``config.check``) runs the machine under the invariant sanitizer
     (repro.check); a broken invariant raises ``InvariantViolation``.
+    ``metrics`` (or ``config.metrics``) attaches the observability
+    spine's metrics registry and embeds the flat export in the result;
+    ``trace_out`` writes a Chrome/Perfetto trace of the run to the given
+    path; ``observe`` forces a (subscriber-less) spine for callers that
+    attach their own consumers.  None of the three changes simulated
+    timing.
     """
     if mode not in MODES:
         raise ValueError(f"unknown mode {mode!r}; choose from {MODES}")
@@ -183,10 +201,14 @@ def run_mode(workload, config: MachineConfig, mode: str,
     forwarding = forwarding or speculative_barriers
     if mode == SEQUENTIAL and config.n_cmps != 1:
         config = config.with_overrides(n_cmps=1)
+    metrics = metrics or config.metrics
 
     slip = mode == SLIPSTREAM
     system = System(config, classify_requests=slip, trace=trace,
-                    check=check or config.check)
+                    check=check or config.check, metrics=metrics,
+                    observe=observe or trace_out is not None)
+    exporter = (system.obs.add_perfetto(run_label=f"{workload.name}/{mode}")
+                if trace_out is not None else None)
     system.fabric.si_enabled = si
     system.fabric.migratory_enabled = migratory
     n_cmps = config.n_cmps
@@ -208,7 +230,6 @@ def run_mode(workload, config: MachineConfig, mode: str,
             pair = SlipstreamPair(system.engine, config, task_id, policy,
                                   tl_enabled=transparent, si_enabled=si,
                                   make_program=make_program)
-            pair.tracer = system.tracer if trace else None
             if adaptive:
                 from repro.slipstream.adaptive import AdaptiveController
                 pair.adaptive = AdaptiveController(pair, node.ctrl)
@@ -325,33 +346,24 @@ def run_mode(workload, config: MachineConfig, mode: str,
                                                 for p in pairs)
     else:
         result.task_breakdowns = [e.processor.breakdown for e in executors]
-    fabric = system.fabric
     if trace:
         result.tracer = system.tracer
-    result.cache_totals = {
-        "l1_hits": sum(l1.hits for n in system.nodes for l1 in n.ctrl.l1s),
-        "l1_misses": sum(l1.misses for n in system.nodes
-                         for l1 in n.ctrl.l1s),
-        "l2_hits": sum(n.ctrl.l2.hits for n in system.nodes),
-        "l2_misses": sum(n.ctrl.l2.misses for n in system.nodes),
-        "l2_evictions": sum(n.ctrl.l2.evictions for n in system.nodes),
-    }
     if system.checker is not None:
         result.check_stats = system.checker.stats()
     if system.faults is not None:
         result.fault_stats = system.faults.summary()
-    result.fabric_stats = {
-        "transactions": fabric.transactions,
-        "interventions": fabric.interventions,
-        "invalidations_sent": fabric.invalidations_sent,
-        "writebacks": fabric.writebacks,
-        "si_hints_sent": fabric.si_hints_sent,
-        "migratory_grants": fabric.migratory_grants,
-        "network_messages": fabric.network.messages,
-        "jitter_cycles": fabric.network.jitter_cycles,
-        "net_retries": sum(n.ctrl.net_retries for n in system.nodes),
-        "watchdog_trips": sum(n.ctrl.watchdog_trips for n in system.nodes),
-    }
+    # The legacy machine-wide dictionaries are derived from the metrics
+    # registry (single source of truth with the flat export); the
+    # collectors snapshot the same component counters the driver used to
+    # sum by hand, so the values — and the golden end-states pinned on
+    # them — are unchanged.
+    registry = run_registry(system, pairs)
+    result.cache_totals = cache_totals_from(registry)
+    result.fabric_stats = fabric_stats_from(registry)
+    if metrics:
+        result.metrics = registry.flat()
+    if exporter is not None:
+        exporter.write(trace_out)
     return result
 
 

@@ -51,6 +51,10 @@ class Processor:
         self.finish_time: Optional[int] = None
         #: fault injector (None in fault-free builds; see repro.faults)
         self._faults = engine.faults
+        #: observability probe mirroring non-zero breakdown charges as
+        #: ``cpu.wait`` events (None without a spine; see repro.obs)
+        obs = engine.obs
+        self._p_wait = None if obs is None else obs.probe("cpu.wait")
         # statistics
         self.ops = 0
         self.loads = 0
@@ -80,8 +84,16 @@ class Processor:
         stall = self._faults.cpu_stall(self.ctrl.node_id, self.proc_idx)
         if stall:
             self.fault_stalls += 1
-            self.breakdown.add("stall", stall)
+            self._charge("stall", stall)
             self._acc += stall
+
+    def _charge(self, category: str, cycles: int) -> None:
+        """Book ``cycles`` against a wait category and mirror non-zero
+        charges onto the spine as ``cpu.wait`` events."""
+        self.breakdown.add(category, cycles)
+        p = self._p_wait
+        if p is not None and cycles and p.live:
+            p(self.name, bucket=category, cycles=cycles)
 
     # ------------------------------------------------------------------
     # Memory operations
@@ -104,7 +116,7 @@ class Processor:
         start = self.engine.now
         yield from self.ctrl.load(self.proc_idx, role, line_addr,
                                   transparent=transparent)
-        self.breakdown.add("stall", self.engine.now - start)
+        self._charge("stall", self.engine.now - start)
 
     def do_store(self, role: str, addr: int,
                  in_critical_section: bool = False) -> Generator:
@@ -123,7 +135,7 @@ class Processor:
         start = self.engine.now
         yield from self.ctrl.store(self.proc_idx, role, line_addr,
                                    in_critical_section=in_critical_section)
-        self.breakdown.add("stall", self.engine.now - start)
+        self._charge("stall", self.engine.now - start)
 
     def do_exclusive_prefetch(self, addr: int) -> Generator:
         """A-stream: fire-and-forget ownership prefetch (1 busy cycle)."""
@@ -141,7 +153,7 @@ class Processor:
         yield from self.flush()
         start = self.engine.now
         result = yield from wait_gen
-        self.breakdown.add(category, self.engine.now - start)
+        self._charge(category, self.engine.now - start)
         return result
 
     def timed_waitable(self, waitable, category: str) -> Generator:
@@ -149,7 +161,7 @@ class Processor:
         yield from self.flush()
         start = self.engine.now
         value = yield waitable
-        self.breakdown.add(category, self.engine.now - start)
+        self._charge(category, self.engine.now - start)
         return value
 
     def mark_finished(self) -> None:

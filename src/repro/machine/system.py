@@ -23,11 +23,26 @@ class System:
 
     def __init__(self, config: MachineConfig,
                  classify_requests: bool = True, trace: bool = False,
-                 check: Optional[bool] = None):
+                 check: Optional[bool] = None,
+                 metrics: Optional[bool] = None, observe: bool = False):
         self.config = config
         self.engine = Engine()
         if check is None:
             check = config.check
+        if metrics is None:
+            metrics = config.metrics
+        #: observability spine (repro.obs): the single attachment point
+        #: for the tracer, checker, faults, metrics, and exporters.  Built
+        #: *before* the fabric and nodes so they capture ``engine.obs``
+        #: (and their probes) at construction.  ``observe`` forces a spine
+        #: even when no legacy channel needs one (e.g. for exporters
+        #: attached by the caller); a machine built with none of these
+        #: keeps ``engine.obs is None`` and pays zero overhead.
+        self.obs = None
+        if trace or check or config.faults or metrics or observe:
+            from repro.obs import Observability
+            self.obs = self.engine.install_obs(
+                Observability(self.engine, metrics=metrics))
         #: event tracer shared by the fabric and node controllers; a
         #: do-nothing singleton unless ``trace`` is requested.  Checked
         #: runs keep a small ring of recent events so an
@@ -38,6 +53,10 @@ class System:
             self.tracer = Tracer(self.engine, capacity=256)
         else:
             self.tracer = NULL_TRACER
+        if self.tracer is not NULL_TRACER:
+            # Rides the bus as a subscriber, restricted to its historical
+            # event categories — counts and ring contents are unchanged.
+            self.obs.attach_tracer(self.tracer)
         #: invariant-checker suite (repro.check); installed on the engine
         #: *before* the fabric and nodes are built, which is where they
         #: pick up their checker references

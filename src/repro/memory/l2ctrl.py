@@ -83,6 +83,22 @@ class L2Controller:
         self._si_pending: Set[int] = set()
         self._si_drainer: Optional[Process] = None
         self.tracer = fabric.tracer
+        #: observability spine probes + push-metric handles (all None when
+        #: the machine was built without a spine / with metrics off)
+        obs = engine.obs
+        self.obs = obs
+        self._p_si_inval = None if obs is None else obs.probe("si-inval")
+        self._p_si_downgrade = (None if obs is None
+                                else obs.probe("si-downgrade"))
+        self._p_fill = None if obs is None else obs.probe("l2.fill")
+        self._p_drain = None if obs is None else obs.probe("si.drain")
+        if obs is not None and obs.metrics_on:
+            self._metrics = obs.registry
+            self._fetch_hist = obs.registry.histogram(
+                "l2.fetch_cycles", node=node_id)
+        else:
+            self._metrics = None
+            self._fetch_hist = None
         #: invariant-checker suite (None unless the machine was built with
         #: checking enabled; see repro.check)
         self.checker = fabric.checker
@@ -376,10 +392,13 @@ class L2Controller:
                 self.classifier.on_r_miss(self.node_id, line_addr,
                                           entry.stat_kind)
         completed = False
+        start = self.engine.now
         try:
             result = yield from self.fabric.fetch(
                 self.node_id, line_addr, kind, role)
             completed = True
+            if self._fetch_hist is not None:
+                self._fetch_hist.observe(self.engine.now - start)
         finally:
             if not completed and self.checker is not None:
                 # Killed between grant and fill (end-of-run A-stream
@@ -412,6 +431,15 @@ class L2Controller:
         line.used_by_r = role == "R" or already_late
         if self.checker is not None:
             self.checker.on_fill(self.node_id, line_addr, line)
+        p = self._p_fill
+        if p is not None and p.live:
+            p(f"node{self.node_id}", f"line={line_addr:#x}",
+              role=role, state=result.state,
+              transparent=result.transparent)
+        m = self._metrics
+        if m is not None:
+            m.counter("l2.fill", node=self.node_id, role=role,
+                      state=result.state).inc()
         return line
 
     def _visible(self, line: CacheLine, role: str) -> bool:
@@ -494,12 +522,20 @@ class L2Controller:
                                    name=f"si-drain[{self.node_id}]")
 
     def _drain_all(self) -> Generator:
+        start = self.engine.now
+        drained = 0
         while self._si_pending:
             # Drain in sorted batches (hints arriving mid-drain join the
             # next batch) instead of re-scanning the set per line.
             batch = sorted(self._si_pending)
             self._si_pending.difference_update(batch)
+            drained += len(batch)
             yield from self._drain_lines(batch)
+        p = self._p_drain
+        if p is not None and p.live:
+            dur = self.engine.now - start
+            p(f"node{self.node_id}", f"lines={drained}",
+              lines=drained, _dur=dur)
 
     def _drain_lines(self, batch) -> Generator:
         for line_addr in batch:
@@ -511,8 +547,9 @@ class L2Controller:
             line.si_hint = False
             if line.written_in_cs:
                 self.si_invalidated += 1
-                self.tracer.record("si-inval", f"node{self.node_id}",
-                                   f"line={line_addr:#x}")
+                p = self._p_si_inval
+                if p is not None and p.live:
+                    p(f"node{self.node_id}", f"line={line_addr:#x}")
                 removed = self.l2.invalidate(line_addr)
                 for l1 in self.l1s:
                     l1.invalidate(line_addr)
@@ -521,8 +558,9 @@ class L2Controller:
                 self.fabric.writeback(self.node_id, line_addr)
             else:
                 self.si_downgraded += 1
-                self.tracer.record("si-downgrade", f"node{self.node_id}",
-                                   f"line={line_addr:#x}")
+                p = self._p_si_downgrade
+                if p is not None and p.live:
+                    p(f"node{self.node_id}", f"line={line_addr:#x}")
                 self.l2.downgrade(line_addr)
                 self.fabric.writeback_downgrade(self.node_id, line_addr)
 

@@ -83,6 +83,16 @@ class CoherenceFabric:
             self.checker.attach_fabric(self)
         #: fault injector, if one was installed before machine assembly
         self.faults = engine.faults
+        #: observability spine (repro.obs), if one was installed before
+        #: machine assembly; probes are captured here so the emit sites
+        #: stay a `is None` test plus a `live` check
+        obs = engine.obs
+        self.obs = obs
+        self._p_txn = None if obs is None else obs.probe("txn")
+        self._p_migratory = None if obs is None else obs.probe("migratory")
+        self._p_intervention = (None if obs is None
+                                else obs.probe("intervention"))
+        self._p_si_hint = None if obs is None else obs.probe("si-hint")
         self.directory = DirectoryState(engine)
         self.network = Network(
             engine, config.n_cmps, config.net_time,
@@ -134,9 +144,10 @@ class CoherenceFabric:
         if kind not in (READ, EXCL, UPGRADE, TRANSPARENT):
             raise ValueError(f"unknown request kind {kind!r}")
         self.transactions += 1
-        if self.tracer.enabled:  # skip f-string building on the hot path
-            self.tracer.record("txn", f"node{node}",
-                               f"{kind} line={line:#x} role={role}")
+        p = self._p_txn
+        if p is not None and p.live:  # skip f-string building on the hot path
+            p(f"node{node}", f"{kind} line={line:#x} role={role}",
+              kind=kind, role=role)
         config = self.config
         home = self.space.home_of_line(line)
         local = home == node
@@ -242,8 +253,9 @@ class CoherenceFabric:
                 # Migratory grant: hand the reader exclusive ownership in
                 # one transaction (it is about to write anyway).
                 self.migratory_grants += 1
-                self.tracer.record("migratory", f"node{node}",
-                                   f"line={line:#x}")
+                p = self._p_migratory
+                if p is not None and p.live:
+                    p(f"node{node}", f"line={line:#x}")
                 yield from self._intervene(home, line, entry,
                                            invalidate=True)
                 entry.set_exclusive(node)
@@ -327,8 +339,10 @@ class CoherenceFabric:
         config = self.config
         owner = entry.owner
         self.interventions += 1
-        self.tracer.record("intervention", f"node{owner}",
-                           f"line={line:#x} invalidate={invalidate}")
+        p = self._p_intervention
+        if p is not None and p.live:
+            p(f"node{owner}", f"line={line:#x} invalidate={invalidate}",
+              invalidate=invalidate)
         yield from self.network.transfer(home, owner, data=False)
         yield self.dcs[owner].serve(config.ni_remote_dc_time)
         yield Timeout(config.bus_time)  # DC -> L2 at the owner
@@ -382,7 +396,9 @@ class CoherenceFabric:
         if self.checker is not None:
             self.checker.on_si_hint(line, owner)
         self.si_hints_sent += 1
-        self.tracer.record("si-hint", f"node{owner}", f"line={line:#x}")
+        p = self._p_si_hint
+        if p is not None and p.live:
+            p(f"node{owner}", f"line={line:#x}")
         controller = self._nodes[owner]
         if owner == home:
             self.engine.schedule(self.config.bus_time,

@@ -1,0 +1,259 @@
+"""Metrics registry: labeled counters, gauges, and histograms.
+
+The registry is the second half of the observability spine (the bus
+carries *events*; the registry carries *aggregates*).  Series are
+identified by a metric name plus a sorted label set, rendered Prometheus
+style — ``l2.miss{cause=coherence,node=3}`` — which is also the key
+format of the flat export embedded in :class:`~repro.experiments.driver.
+RunResult` and written to CSV.
+
+Two feeding styles coexist:
+
+* **push** — hot components hold a :class:`Counter`/:class:`Histogram`
+  handle (obtained once, at construction) and bump it inline, behind the
+  spine's usual ``is None`` contract;
+* **pull** — components that already keep plain attribute counters (the
+  caches, the fabric, the L2 controllers...) are covered by *collectors*:
+  callables registered with :meth:`MetricsRegistry.register_collector`
+  that snapshot those attributes into registry series at collection
+  time.  Collection is an end-of-run operation, so pull-style metrics
+  cost nothing during simulation.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+Number = Union[int, float]
+
+#: default histogram buckets (cycles): miss latencies cluster in the
+#: hundreds, sync waits in the thousands-to-millions
+DEFAULT_BUCKETS: Tuple[Number, ...] = (
+    50, 100, 200, 300, 500, 1000, 2500, 5000, 10_000, 50_000, 250_000)
+
+
+def series_name(name: str, labels: Dict[str, object]) -> str:
+    """Canonical ``name{k=v,...}`` rendering with sorted label keys."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """Monotonic count for one labeled series."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """Point-in-time value for one labeled series."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def inc(self, amount: Number = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: Number = 1) -> None:
+        self.value -= amount
+
+    def __repr__(self) -> str:
+        return f"<Gauge {self.name}={self.value}>"
+
+
+class Histogram:
+    """Cumulative-bucket histogram for one labeled series."""
+
+    __slots__ = ("name", "buckets", "bucket_counts", "count", "total")
+
+    def __init__(self, name: str,
+                 buckets: Optional[Sequence[Number]] = None):
+        self.name = name
+        self.buckets: Tuple[Number, ...] = tuple(
+            sorted(buckets if buckets is not None else DEFAULT_BUCKETS))
+        self.bucket_counts: List[int] = [0] * len(self.buckets)
+        self.count = 0
+        self.total = 0
+
+    def observe(self, value: Number) -> None:
+        self.count += 1
+        self.total += value
+        index = bisect.bisect_left(self.buckets, value)
+        if index < len(self.bucket_counts):
+            self.bucket_counts[index] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def cumulative(self) -> List[Tuple[str, int]]:
+        """``(le, count)`` pairs, cumulative, ending with ``+Inf``."""
+        rows: List[Tuple[str, int]] = []
+        running = 0
+        for bound, in_bucket in zip(self.buckets, self.bucket_counts):
+            running += in_bucket
+            rows.append((str(bound), running))
+        rows.append(("+Inf", self.count))
+        return rows
+
+    def __repr__(self) -> str:
+        return f"<Histogram {self.name} n={self.count} mean={self.mean:.1f}>"
+
+
+class MetricsRegistry:
+    """All metric series of one run, plus the pull-style collectors."""
+
+    def __init__(self) -> None:
+        self._series: Dict[str, Union[Counter, Gauge, Histogram]] = {}
+        self._collectors: List[Callable[["MetricsRegistry"], None]] = []
+
+    # ------------------------------------------------------------------
+    # Series accessors (get-or-create; handles are stable across calls)
+    # ------------------------------------------------------------------
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str,
+                  buckets: Optional[Sequence[Number]] = None,
+                  **labels) -> Histogram:
+        key = series_name(name, labels)
+        series = self._series.get(key)
+        if series is None:
+            series = Histogram(key, buckets)
+            self._series[key] = series
+        elif not isinstance(series, Histogram):
+            raise TypeError(f"{key} already registered as "
+                            f"{type(series).__name__}")
+        return series
+
+    def _get(self, cls, name: str, labels: Dict[str, object]):
+        key = series_name(name, labels)
+        series = self._series.get(key)
+        if series is None:
+            series = cls(key)
+            self._series[key] = series
+        elif not isinstance(series, cls):
+            raise TypeError(f"{key} already registered as "
+                            f"{type(series).__name__}")
+        return series
+
+    # ------------------------------------------------------------------
+    # Pull-style collection
+    # ------------------------------------------------------------------
+    def register_collector(
+            self, fn: Callable[["MetricsRegistry"], None]) -> None:
+        """``fn(registry)`` will be invoked by :meth:`collect` to
+        snapshot component state into registry series."""
+        self._collectors.append(fn)
+
+    def collect(self) -> "MetricsRegistry":
+        """Run every registered collector; returns ``self`` for chaining."""
+        for fn in self._collectors:
+            fn(self)
+        return self
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def flat(self) -> Dict[str, Number]:
+        """Every series as ``{rendered-name: value}``, sorted by name.
+
+        Histograms expand to ``name_bucket{le=...}`` cumulative rows plus
+        ``name_count`` / ``name_sum`` — the conventional flat encoding.
+        """
+        out: Dict[str, Number] = {}
+        for key in sorted(self._series):
+            series = self._series[key]
+            if isinstance(series, Histogram):
+                base, labels = _split_name(key)
+                for bound, count in series.cumulative():
+                    merged = dict(labels, le=bound)
+                    out[series_name(base + "_bucket", merged)] = count
+                out[series_name(base + "_count", labels)] = series.count
+                out[series_name(base + "_sum", labels)] = series.total
+            else:
+                out[key] = series.value
+        return out
+
+    def to_csv(self) -> str:
+        """``series,value`` rows (header included), sorted by series."""
+        lines = ["series,value"]
+        for key, value in self.flat().items():
+            text = f"\"{key}\"" if "," in key else key
+            lines.append(f"{text},{value}")
+        return "\n".join(lines) + "\n"
+
+    def value(self, name: str, **labels) -> Number:
+        """Current value of one series (0 when absent)."""
+        series = self._series.get(series_name(name, labels))
+        if series is None:
+            return 0
+        if isinstance(series, Histogram):
+            return series.count
+        return series.value
+
+    def sum(self, name: str, **fixed_labels) -> Number:
+        """Sum across every series of ``name`` matching ``fixed_labels``.
+
+        ``registry.sum("l2.hits")`` totals all nodes;
+        ``registry.sum("net.messages", kind="data")`` totals one label
+        slice.  This is how the legacy machine-wide dicts
+        (``cache_totals``, ``fabric_stats``) are now derived.
+        """
+        total: Number = 0
+        for key, series in self._series.items():
+            base, labels = _split_name(key)
+            if base != name:
+                continue
+            if any(str(labels.get(k)) != str(v)
+                   for k, v in fixed_labels.items()):
+                continue
+            if isinstance(series, Histogram):
+                total += series.count
+            else:
+                total += series.value
+        return total
+
+    def series(self) -> Dict[str, Union[Counter, Gauge, Histogram]]:
+        return dict(self._series)
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def __repr__(self) -> str:
+        return (f"<MetricsRegistry series={len(self._series)} "
+                f"collectors={len(self._collectors)}>")
+
+
+def _split_name(key: str) -> Tuple[str, Dict[str, str]]:
+    """Inverse of :func:`series_name` (labels as strings)."""
+    if not key.endswith("}") or "{" not in key:
+        return key, {}
+    base, _, inner = key.partition("{")
+    labels: Dict[str, str] = {}
+    for part in inner[:-1].split(","):
+        if part:
+            k, _, v = part.partition("=")
+            labels[k] = v
+    return base, labels

@@ -54,15 +54,37 @@ class Engine:
         self.checker = None
         #: optional fault injector (see repro.faults); same None contract
         self.faults = None
+        #: optional observability spine (see repro.obs); same None contract
+        #: — components capture probes from it at construction time
+        self.obs = None
+
+    def install_obs(self, obs):
+        """Attach an observability spine (``repro.obs.Observability``).
+
+        Like the checker and fault hooks, this must happen before the
+        machine components are constructed — they capture ``engine.obs``
+        (and their probes) at construction time.  Returns ``obs``.
+        """
+        self.obs = obs
+        return obs
+
+    def _ensure_obs(self):
+        if self.obs is None:
+            from repro.obs import Observability
+            self.install_obs(Observability(self))
+        return self.obs
 
     def install_checker(self, checker) -> None:
         """Attach an invariant-checker suite (``repro.check.CheckerSuite``).
 
         Must be called before the machine components are constructed —
         the fabric, L2 controllers, and slipstream pairs capture the
-        checker reference at construction time.
+        checker reference at construction time.  Attachment routes
+        through the observability spine (created on demand), which
+        mirrors the checker back onto ``engine.checker`` so the hook
+        sites stay a single ``is None`` test.
         """
-        self.checker = checker
+        self._ensure_obs().attach_checker(checker)
 
     def install_faults(self, injector) -> None:
         """Attach a fault injector (``repro.faults.FaultInjector``).
@@ -70,8 +92,9 @@ class Engine:
         Like :meth:`install_checker`, this must happen before the machine
         components are constructed — the network, fabric, processors, and
         slipstream pairs capture the injector reference at construction.
+        Routes through the observability spine like the checker.
         """
-        self.faults = injector
+        self._ensure_obs().attach_faults(injector)
 
     # ------------------------------------------------------------------
     # Scheduling

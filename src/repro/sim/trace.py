@@ -5,6 +5,13 @@ the simulator (protocol transactions, slipstream decisions, SI drains) into
 a bounded in-memory log.  Tracing is off by default and costs one ``if``
 per call site when disabled; tests and the examples use it to assert and
 display event orderings that aggregate counters cannot express.
+
+Since the observability spine (:mod:`repro.obs`) unified event emission,
+components publish through bus probes rather than calling
+:meth:`Tracer.record` directly; the tracer stays API-compatible by
+riding the bus as a subscriber (:meth:`Tracer.on_event`), attached via
+``Observability.attach_tracer`` and restricted to the event categories
+it historically recorded.
 """
 
 from __future__ import annotations
@@ -59,6 +66,17 @@ class Tracer:
                                        str(subject), detail))
         self.counts[category] += 1
 
+    def on_event(self, time: int, category: str, subject: str,
+                 detail: str, args: dict) -> None:
+        """Observability-bus subscriber entry point (``repro.obs``).
+
+        Structured ``args`` are dropped — the legacy log carries the
+        rendered ``detail`` string only, exactly as :meth:`record` always
+        has.  ``time`` equals ``engine.now`` at delivery (the bus
+        publishes synchronously), so the recorded timestamp is unchanged.
+        """
+        self.record(category, subject, detail)
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
@@ -94,6 +112,10 @@ class NullTracer:
     enabled = False
 
     def record(self, category: str, subject: str, detail: str = "") -> None:
+        pass
+
+    def on_event(self, time: int, category: str, subject: str,
+                 detail: str, args: dict) -> None:
         pass
 
     def events(self, *args, **kwargs) -> List[TraceEvent]:

@@ -102,11 +102,12 @@ class AdaptiveController:
         self.history.append(AdaptationEvent(
             pair.r_session, pair.policy.name, new_policy.name,
             only_rate, late_rate))
-        if pair.tracer is not None:
-            pair.tracer.record(
+        if pair.obs is not None:
+            pair.obs.publish(
                 "adapt", f"pair{pair.task_id}",
                 f"{pair.policy.name}->{new_policy.name} "
-                f"only={only_rate:.2f} late={late_rate:.2f}")
+                f"only={only_rate:.2f} late={late_rate:.2f}",
+                from_policy=pair.policy.name, to_policy=new_policy.name)
         # Adjust the banked lead to match the token-depth change.  A
         # tighten that cannot retire a token now (the A-stream already
         # spent it) books a debt the next insertion absorbs, so repeated
@@ -204,9 +205,10 @@ class DegradationController:
         self.demoted_at = session
         self._refork_sessions.clear()
         self.history.append(DegradationEvent(session, "demote", reforks))
-        if pair.tracer is not None:
-            pair.tracer.record("demote", f"pair{pair.task_id}",
-                               f"session={session} reforks={reforks}")
+        if pair.obs is not None:
+            pair.obs.publish("demote", f"pair{pair.task_id}",
+                             f"session={session} reforks={reforks}",
+                             session=session, reforks=reforks)
 
     def _promote(self, session: int) -> None:
         pair = self.pair
@@ -216,7 +218,7 @@ class DegradationController:
         self.promotions += 1
         self.demoted_at = None
         self.history.append(DegradationEvent(session, "promote"))
-        if pair.tracer is not None:
-            pair.tracer.record("promote", f"pair{pair.task_id}",
-                               f"session={session}")
+        if pair.obs is not None:
+            pair.obs.publish("promote", f"pair{pair.task_id}",
+                             f"session={session}", session=session)
         pair.respawn_astream()

@@ -124,9 +124,10 @@ class AStreamExecutor(TaskExecutor):
         """
         self.corruptions += 1
         pair = self.pair
-        if pair.tracer is not None:
-            pair.tracer.record("corrupt", f"pair{pair.task_id}",
-                               f"a_session={pair.a_session}")
+        if pair.obs is not None:
+            pair.obs.publish("corrupt", f"pair{pair.task_id}",
+                             f"a_session={pair.a_session}",
+                             a_session=pair.a_session)
         while not pair.abort_requested and not pair.shutdown:
             self.processor.do_compute(64)
             yield from self.processor.flush()

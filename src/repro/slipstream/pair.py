@@ -84,8 +84,12 @@ class SlipstreamPair:
         #: input-forwarding sequence a freshly spawned A-stream starts at
         self.a_input_seq_base = 0
         self._recovering = False
-        #: optional event tracer (wired by the mode runner)
-        self.tracer = None
+        #: observability spine, when the engine has one installed; the
+        #: slipstream layer publishes recovery/adaptation events and the
+        #: A-R session-lead counter track through it
+        obs = engine.obs
+        self.obs = obs
+        self._p_lead = None if obs is None else obs.probe("ar.lead")
         #: optional AdaptiveController (wired by the mode runner)
         self.adaptive = None
         #: optional PatternLog + PatternPrefetcher (forwarding extension)
@@ -151,6 +155,7 @@ class SlipstreamPair:
     def on_r_sync_exit(self) -> None:
         """R-stream finished the barrier/event-wait routine."""
         self.r_session += 1
+        self._emit_lead()
         if not self.policy.inserts_on_entry:
             self.insert_token()
         if self.adaptive is not None:
@@ -171,8 +176,18 @@ class SlipstreamPair:
             self.a_token_waits += 1
             yield self.tokens.acquire()
         self.a_session += 1
+        self._emit_lead()
         if self.checker is not None:
             self.checker.on_token_consume(self)
+
+    def _emit_lead(self) -> None:
+        """Publish the A-stream's session lead as a Perfetto counter track."""
+        p = self._p_lead
+        if p is not None and p.live:
+            p(f"pair{self.task_id}",
+              _counter={"lead": self.a_session - self.r_session,
+                        "r_session": self.r_session,
+                        "a_session": self.a_session})
 
     # ------------------------------------------------------------------
     # Input forwarding (Section 3.2, global operations)
@@ -213,10 +228,12 @@ class SlipstreamPair:
         self._recovering = True
         self.recoveries += 1
         self.abort_requested = True
-        if self.tracer is not None:
-            self.tracer.record("recovery", f"pair{self.task_id}",
-                               f"r_session={self.r_session} "
-                               f"a_reached={self.a_reached}")
+        if self.obs is not None:
+            self.obs.publish("recovery", f"pair{self.task_id}",
+                             f"r_session={self.r_session} "
+                             f"a_reached={self.a_reached}",
+                             r_session=self.r_session,
+                             a_reached=self.a_reached)
         old = self.a_executor
 
         def supervise() -> Generator:

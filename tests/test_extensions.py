@@ -95,7 +95,7 @@ class _FakePair:
         self.policy = policy
         self.r_session = 0
         self.task_id = 0
-        self.tracer = None
+        self.obs = None
         from repro.sim import Engine, SimSemaphore
         self.tokens = SimSemaphore(Engine(), initial=policy.initial_tokens)
 

@@ -100,7 +100,10 @@ def test_corrupt_entry_degrades_to_miss(tmp_path):
     '"just a string"',                   # valid JSON, wrong type
     '{"unrelated": true}',               # object missing required fields
     "null",
-], ids=["empty", "truncated", "list", "string", "wrong-keys", "null"])
+    '{"workload": "sor", "mode": "single", "n_cmps": 2, "exec_cycles": 7, '
+    '"metrics": [1, 2]}',                # metrics blob with the wrong shape
+], ids=["empty", "truncated", "list", "string", "wrong-keys", "null",
+        "bad-metrics"])
 def test_unreadable_entry_shapes_degrade_to_miss(payload, tmp_path):
     """No on-disk state may crash the cache: every malformed entry is a
     miss, and a subsequent put overwrites it cleanly."""
