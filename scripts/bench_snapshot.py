@@ -20,8 +20,20 @@ exporter) — and writes ``BENCH_obs.json``.  The obs-off leg is the
 zero-overhead contract: it must stay within noise of the
 ``engine_micro`` timing in ``BENCH_runner.json``.
 
+``--hotpath`` times the same microbenchmark with the op-tape replay
+(``MachineConfig.compile_tape``) off and on — interleaved repeats, so
+machine noise hits both legs equally — asserts the two legs simulate
+bit-identical cycle counts, and writes ``BENCH_hotpath.json`` with the
+timings, the speedup over the committed ``BENCH_runner.json``
+engine-micro baseline, and per-kernel op counts before/after compute
+coalescing.  ``--micro`` is the CI-light variant (fewer repeats, same
+checks).  Both exit non-zero if the legs' cycle counts differ or the
+tape path is slower than the generator path.
+
 Run:  PYTHONPATH=src python scripts/bench_snapshot.py [--jobs 4]
       PYTHONPATH=src python scripts/bench_snapshot.py --obs
+      PYTHONPATH=src python scripts/bench_snapshot.py --hotpath
+      PYTHONPATH=src python scripts/bench_snapshot.py --micro
 """
 
 import argparse
@@ -131,6 +143,109 @@ def obs_snapshot(repeats: int, output: str) -> None:
     print(f"  obs on    {on:8.3f}s  (+{snapshot['obs_on_overhead']:.1%})")
 
 
+def _stats(times: list) -> dict:
+    return {
+        "best_seconds": round(min(times), 3),
+        "median_seconds": round(sorted(times)[len(times) // 2], 3),
+    }
+
+
+def _coalescing_counts() -> dict:
+    """Per-kernel op counts before/after compute coalescing (task 0..N-1
+    of each traceable workload, compiled exactly as a run would)."""
+    from repro.memory.address import AddressSpace, SharedAllocator
+    from repro.runtime.task import TaskContext
+    from repro.workloads import PAPER_ORDER
+    from repro.workloads.tape import compile_program
+
+    config = scaled_config(MICRO_CMPS)
+    space = AddressSpace(MICRO_CMPS, line_size=config.line_size)
+    kernels = {}
+    for name in PAPER_ORDER:
+        workload = make(name)
+        if not getattr(workload, "traceable", True):
+            continue
+        workload.allocate(SharedAllocator(space), MICRO_CMPS,
+                          lambda t: t % MICRO_CMPS)
+        raw = steps = 0
+        for task_id in range(MICRO_CMPS):
+            tape = compile_program(
+                workload.program(TaskContext(task_id, MICRO_CMPS)),
+                space.line_of)
+            raw += tape.n_raw
+            steps += len(tape)
+        kernels[name] = {
+            "raw_ops": raw,
+            "tape_steps": steps,
+            "reduction": round(1.0 - steps / raw, 3) if raw else 0.0,
+        }
+    return kernels
+
+
+def hotpath_snapshot(repeats: int, output: str) -> None:
+    """Time the engine micro with the tape replay off and on; write
+    ``BENCH_hotpath.json``.  Exits non-zero when the tape path diverges
+    from the generator oracle or fails to at least break even."""
+    times = {"off": [], "on": []}
+    cycles = {}
+    for i in range(repeats):
+        for leg, flag in (("off", False), ("on", True)):
+            print(f"[{i + 1}/{repeats}] tape {leg} ...", flush=True)
+            started = time.perf_counter()
+            result = run_mode(make(MICRO_WORKLOAD),
+                              scaled_config(MICRO_CMPS, compile_tape=flag),
+                              MICRO_MODE)
+            times[leg].append(time.perf_counter() - started)
+            cycles[leg] = result.exec_cycles
+    if cycles["off"] != cycles["on"]:
+        raise SystemExit(
+            f"tape replay diverged from the generator oracle: "
+            f"exec_cycles {cycles['on']} (on) != {cycles['off']} (off)")
+
+    off_best = min(times["off"])
+    on_best = min(times["on"])
+    snapshot = {
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "repeats": repeats,
+        "engine_micro": {
+            "label": f"{MICRO_WORKLOAD}@{MICRO_CMPS}/{MICRO_MODE}",
+            "exec_cycles": cycles["on"],
+            "tape_off": _stats(times["off"]),
+            "tape_on": _stats(times["on"]),
+            "speedup_vs_tape_off": round(off_best / on_best, 3),
+        },
+        "kernels": _coalescing_counts(),
+    }
+    baseline = Path("BENCH_runner.json")
+    if baseline.exists():
+        reference = json.loads(baseline.read_text()).get("engine_micro")
+        if reference:
+            # The committed pre-tape snapshot of the same micro: the
+            # regression the op-tape work targets.
+            snapshot["baseline"] = reference
+            snapshot["speedup"] = round(
+                reference["best_seconds"] / on_best, 3)
+            snapshot["speedup_basis"] = (
+                "BENCH_runner.json engine_micro best_seconds over "
+                "tape-on best_seconds")
+
+    Path(output).write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(f"wrote {output}:")
+    print(f"  tape off  {off_best:8.3f}s")
+    print(f"  tape on   {on_best:8.3f}s "
+          f"({snapshot['engine_micro']['speedup_vs_tape_off']:.3f}x)")
+    if "speedup" in snapshot:
+        print(f"  vs committed baseline "
+              f"{snapshot['baseline']['best_seconds']:.3f}s: "
+              f"{snapshot['speedup']:.3f}x")
+    if on_best > off_best:
+        raise SystemExit(
+            f"tape-on micro ({on_best:.3f}s) is slower than tape-off "
+            f"({off_best:.3f}s)")
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--jobs", type=int, default=4,
@@ -141,12 +256,22 @@ def main() -> None:
     parser.add_argument("--obs", action="store_true",
                         help="time observability-spine overhead instead "
                              "(writes BENCH_obs.json)")
+    parser.add_argument("--hotpath", action="store_true",
+                        help="time the engine micro with the op-tape "
+                             "replay off/on (writes BENCH_hotpath.json)")
+    parser.add_argument("--micro", action="store_true",
+                        help="CI-light --hotpath smoke: 2 interleaved "
+                             "repeats per leg, same identity/perf checks")
     parser.add_argument("--repeats", type=int, default=3,
                         help="best-of-N repeats for the microbenchmarks")
     args = parser.parse_args()
 
     if args.obs:
         obs_snapshot(args.repeats, args.output or "BENCH_obs.json")
+        return
+    if args.hotpath or args.micro:
+        repeats = 2 if args.micro else max(args.repeats, 3)
+        hotpath_snapshot(repeats, args.output or "BENCH_hotpath.json")
         return
     args.output = args.output or "BENCH_runner.json"
 

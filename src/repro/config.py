@@ -142,6 +142,13 @@ class MachineConfig:
     # Derived / misc
     # ------------------------------------------------------------------
     seed: int = 12345
+    #: compile workload programs to flat op-tapes and replay them through
+    #: the hot-loop executor path (repro.workloads.tape).  Cycle-identical
+    #: to the generator path by construction; False keeps the original
+    #: generator execution as the differential-testing oracle.  Being a
+    #: config field, it participates in the result-cache key, so taped and
+    #: generator results never alias.
+    compile_tape: bool = True
     #: enable the runtime invariant sanitizer (repro.check).  Off by
     #: default: checking observes every directory transaction and costs
     #: real wall-clock time, but never changes simulated timing.

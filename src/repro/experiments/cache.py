@@ -33,9 +33,10 @@ from pathlib import Path
 from typing import Optional
 
 from repro.experiments.driver import RunResult
+from repro.workloads.tape import TAPE_FORMAT_VERSION
 
 #: bump when the serialized RunResult layout (or key payload) changes
-CACHE_FORMAT_VERSION = 4  # v4: RunResult.metrics + MachineConfig.metrics
+CACHE_FORMAT_VERSION = 5  # v5: op-tape execution (MachineConfig.compile_tape)
 
 #: default cache location (overridable via the environment or --cache-dir)
 DEFAULT_CACHE_DIR = os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
@@ -64,6 +65,11 @@ def result_key(spec, config) -> str:
     source fingerprint)``; the cache filename stem."""
     payload = {
         "format": CACHE_FORMAT_VERSION,
+        # Tape compilation is part of how a result was produced: the
+        # config's ``compile_tape`` flag is in the asdict below, and the
+        # tape representation version invalidates taped results whenever
+        # the compiler's output format or coalescing rules change.
+        "tape_format": TAPE_FORMAT_VERSION,
         "source": source_fingerprint(),
         "spec": spec.as_dict(),
         "config": dataclasses.asdict(config),

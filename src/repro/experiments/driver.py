@@ -35,6 +35,7 @@ from repro.slipstream.pair import SlipstreamPair
 from repro.slipstream.rstream import RStreamExecutor
 from repro.sim import Process
 from repro.stats.timebreakdown import TimeBreakdown, average_breakdown
+from repro.workloads.tape import TapeCache
 
 SEQUENTIAL = "sequential"
 SINGLE = "single"
@@ -217,6 +218,16 @@ def run_mode(workload, config: MachineConfig, mode: str,
     registry = SyncRegistry(system.engine, config, n_tasks)
     workload.allocate(system.allocator, n_tasks, _task_home(mode, n_cmps))
 
+    # Op-tape compilation (repro.workloads.tape): trace each task's
+    # program once and replay the flat tape — in slipstream mode one tape
+    # serves the R-stream, the A-stream, and every recovery refork.  Only
+    # sound for workloads whose op stream ignores the stream role
+    # (Workload.traceable); others keep the generator path, as does
+    # compile_tape=False (the differential-testing oracle).
+    use_tape = config.compile_tape and getattr(workload, "traceable", True)
+    tape_cache = (TapeCache(workload, n_tasks, system.space.line_of)
+                  if use_tape else None)
+
     executors: List[TaskExecutor] = []
     pairs: List[SlipstreamPair] = []
     full_processes: List[Process] = []
@@ -225,11 +236,13 @@ def run_mode(workload, config: MachineConfig, mode: str,
         for task_id in range(n_tasks):
             node = system.nodes[task_id]
             r_ctx = TaskContext(task_id, n_tasks, role=ROLE_R)
+            tape = tape_cache.tape_for(task_id) if use_tape else None
             make_program = (lambda wl=workload, tid=task_id, nt=n_tasks:
                             wl.program(TaskContext(tid, nt, role=ROLE_A)))
             pair = SlipstreamPair(system.engine, config, task_id, policy,
                                   tl_enabled=transparent, si_enabled=si,
                                   make_program=make_program)
+            pair.tape = tape
             if adaptive:
                 from repro.slipstream.adaptive import AdaptiveController
                 pair.adaptive = AdaptiveController(pair, node.ctrl)
@@ -246,24 +259,29 @@ def run_mode(workload, config: MachineConfig, mode: str,
                 pair.prefetcher = PatternPrefetcher(
                     pair, node.ctrl, speculative=speculative_barriers)
             pairs.append(pair)
-            r_exec = RStreamExecutor(node.processor(0), r_ctx,
-                                     workload.program(r_ctx), registry, pair)
+            r_exec = RStreamExecutor(
+                node.processor(0), r_ctx,
+                None if tape is not None else workload.program(r_ctx),
+                registry, pair, tape=tape)
             executors.append(r_exec)
             full_processes.append(r_exec.start())
 
-            def spawn_astream(the_pair, program, node=node, tid=task_id,
-                              nt=n_tasks):
+            def spawn_astream(the_pair, program, tape_start=0, node=node,
+                              tid=task_id, nt=n_tasks):
                 if getattr(the_pair, "shutdown", False):
                     return None
                 ctx = TaskContext(tid, nt, role=ROLE_A)
                 a_exec = AStreamExecutor(node.processor(1), ctx, program,
-                                         registry, the_pair)
+                                         registry, the_pair,
+                                         tape=the_pair.tape,
+                                         tape_start=tape_start)
                 the_pair.a_executor_history.append(a_exec)
                 a_exec.start()
                 return a_exec
 
             pair.spawn_astream = spawn_astream
-            pair.a_executor = spawn_astream(pair, make_program())
+            pair.a_executor = spawn_astream(
+                pair, None if tape is not None else make_program())
             executors.append(pair.a_executor)
     else:
         for task_id in range(n_tasks):
@@ -274,8 +292,12 @@ def run_mode(workload, config: MachineConfig, mode: str,
                 node = system.nodes[task_id]
                 processor = node.processor(0)
             ctx = TaskContext(task_id, n_tasks, role=ROLE_NORMAL)
-            executor = TaskExecutor(processor, ctx, workload.program(ctx),
-                                    registry)
+            if use_tape:
+                executor = TaskExecutor(processor, ctx, None, registry,
+                                        tape=tape_cache.tape_for(task_id))
+            else:
+                executor = TaskExecutor(processor, ctx,
+                                        workload.program(ctx), registry)
             executors.append(executor)
             full_processes.append(executor.start())
 

@@ -28,6 +28,7 @@ state (``run_mode`` rewrites ``n_cmps`` for sequential runs).
 
 from __future__ import annotations
 
+import os
 import sys
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -159,7 +160,8 @@ class BatchStats:
     executed: int = 0        #: simulations actually run
     failed: int = 0          #: specs that produced an error result
     retried: int = 0         #: specs re-submitted after a worker crash
-    jobs: int = 1            #: worker processes used for the misses
+    jobs: int = 1            #: effective worker processes (CPU-capped)
+    jobs_requested: int = 1  #: worker processes asked for at construction
     serial_seconds: float = 0.0  #: sum of per-run wall times (serial equivalent)
     wall_seconds: float = 0.0    #: actual elapsed batch time
 
@@ -178,6 +180,7 @@ class BatchStats:
             failed=self.failed + other.failed,
             retried=self.retried + other.retried,
             jobs=max(self.jobs, other.jobs),
+            jobs_requested=max(self.jobs_requested, other.jobs_requested),
             serial_seconds=self.serial_seconds + other.serial_seconds,
             wall_seconds=self.wall_seconds + other.wall_seconds)
 
@@ -234,6 +237,18 @@ class Runner:
         if retries < 0:
             raise ValueError("retries must be >= 0")
         self.jobs = jobs
+        #: pool workers actually used: oversubscribing a box (jobs above
+        #: the CPU count) only adds process churn — the workers are
+        #: CPU-bound simulations, so extra ones time-slice, they do not
+        #: overlap.  Pooling itself still triggers on the *requested*
+        #: jobs, so explicitly-parallel callers keep pool semantics
+        #: (crash retry, watchdog) even on a single-CPU machine.
+        cpus = os.cpu_count() or 1
+        self.jobs_effective = min(jobs, cpus)
+        if self.jobs_effective < jobs:
+            print(f"[runner] jobs={jobs} exceeds the {cpus} available "
+                  f"CPU(s); capping pool workers at {self.jobs_effective}",
+                  file=sys.stderr)
         self.cache = cache
         self.memoize = memoize
         self.timeout = timeout
@@ -247,7 +262,8 @@ class Runner:
         self.config_overrides = dict(config_overrides or {})
         self._memo: Dict[RunSpec, RunResult] = {}
         self.last_stats: Optional[BatchStats] = None
-        self.total_stats = BatchStats(jobs=jobs)
+        self.total_stats = BatchStats(jobs=self.jobs_effective,
+                                      jobs_requested=jobs)
 
     # ------------------------------------------------------------------
     def run(self, spec: RunSpec) -> RunResult:
@@ -263,7 +279,8 @@ class Runner:
         if self.config_overrides:
             specs = [spec.with_config_overrides(**self.config_overrides)
                      for spec in specs]
-        stats = BatchStats(total=len(specs), jobs=self.jobs)
+        stats = BatchStats(total=len(specs), jobs=self.jobs_effective,
+                           jobs_requested=self.jobs)
         results: Dict[RunSpec, RunResult] = {}
 
         pending: List[RunSpec] = []
@@ -363,7 +380,7 @@ class Runner:
         is shut down without waiting and the workers are orphaned.
         """
         crashed: List[RunSpec] = []
-        workers = min(self.jobs, len(specs))
+        workers = min(self.jobs_effective, len(specs))
         pool = ProcessPoolExecutor(max_workers=workers)
         try:
             future_spec = {pool.submit(_pool_worker, spec): spec

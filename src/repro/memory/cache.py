@@ -18,6 +18,7 @@ States follow a simple MSI convention: ``'I'`` invalid, ``'S'`` shared
 
 from __future__ import annotations
 
+from operator import attrgetter
 from typing import Callable, Dict, List, Optional
 
 INVALID = "I"
@@ -59,6 +60,11 @@ class CacheLine:
 
 REPLACEMENT_POLICIES = ("lru", "fifo", "random")
 
+# C-level key extractors: victim selection runs on every fill into a full
+# set, which for the small L1s is nearly every fill.
+_LRU_KEY = attrgetter("lru_stamp")
+_FIFO_KEY = attrgetter("insert_stamp")
+
 
 class Cache:
     """Set-associative tag array with configurable replacement.
@@ -71,8 +77,8 @@ class Cache:
     """
 
     __slots__ = ("size", "assoc", "line_size", "name", "policy", "n_sets",
-                 "on_evict", "_rng", "_sets", "_stamp", "hits", "misses",
-                 "evictions", "invalidations_received")
+                 "on_evict", "_rng", "_sets", "_mask", "_stamp", "hits",
+                 "misses", "evictions", "invalidations_received")
 
     def __init__(self, size: int, assoc: int, line_size: int,
                  name: str = "cache",
@@ -101,6 +107,7 @@ class Cache:
         else:
             self._rng = None
         self._sets: List[Dict[int, CacheLine]] = [dict() for _ in range(self.n_sets)]
+        self._mask = self.n_sets - 1
         self._stamp = 0
         # statistics
         self.hits = 0
@@ -109,18 +116,19 @@ class Cache:
         self.invalidations_received = 0
 
     def _set_of(self, line_addr: int) -> Dict[int, CacheLine]:
-        return self._sets[line_addr & (self.n_sets - 1)]
+        return self._sets[line_addr & self._mask]
 
     # ------------------------------------------------------------------
-    # Lookup
+    # Lookup (the set indexing is inlined here rather than going through
+    # _set_of: these two run on every memory op in the simulator)
     # ------------------------------------------------------------------
     def probe(self, line_addr: int) -> Optional[CacheLine]:
         """Tag check without touching LRU or hit/miss counters."""
-        return self._set_of(line_addr).get(line_addr)
+        return self._sets[line_addr & self._mask].get(line_addr)
 
     def lookup(self, line_addr: int) -> Optional[CacheLine]:
         """Tag check that updates LRU and hit/miss statistics."""
-        line = self._set_of(line_addr).get(line_addr)
+        line = self._sets[line_addr & self._mask].get(line_addr)
         if line is None:
             self.misses += 1
             return None
@@ -140,13 +148,31 @@ class Cache:
         """
         if state not in _VALID_STATES:
             raise ValueError(f"cannot insert line in state {state!r}")
-        cache_set = self._set_of(line_addr)
+        cache_set = self._sets[line_addr & self._mask]
         line = cache_set.get(line_addr)
         if line is None:
             if len(cache_set) >= self.assoc:
                 victim = self._choose_victim(cache_set)
-                self._evict(cache_set, victim)
-            line = CacheLine(line_addr, state)
+                del cache_set[victim.line_addr]
+                self.evictions += 1
+                if self.on_evict is not None:
+                    self.on_evict(victim)
+                    line = CacheLine(line_addr, state)
+                else:
+                    # No eviction callback (the L1 tag arrays): nothing
+                    # outside this call can hold the victim, so recycle the
+                    # object instead of allocating a fresh line per fill.
+                    line = victim
+                    line.line_addr = line_addr
+                    line.state = state
+                    line.transparent = False
+                    line.si_hint = False
+                    line.written_in_cs = False
+                    line.fetcher_role = None
+                    line.used_by_r = False
+                    line.fetch_kind = None
+            else:
+                line = CacheLine(line_addr, state)
             self._stamp += 1
             line.insert_stamp = self._stamp
             cache_set[line_addr] = line
@@ -163,18 +189,11 @@ class Cache:
         return line
 
     def _choose_victim(self, cache_set: Dict[int, CacheLine]) -> CacheLine:
-        lines = list(cache_set.values())
         if self.policy == "lru":
-            return min(lines, key=lambda l: l.lru_stamp)
+            return min(cache_set.values(), key=_LRU_KEY)
         if self.policy == "fifo":
-            return min(lines, key=lambda l: l.insert_stamp)
-        return self._rng.choice(lines)
-
-    def _evict(self, cache_set: Dict[int, CacheLine], victim: CacheLine) -> None:
-        del cache_set[victim.line_addr]
-        self.evictions += 1
-        if self.on_evict is not None:
-            self.on_evict(victim)
+            return min(cache_set.values(), key=_FIFO_KEY)
+        return self._rng.choice(list(cache_set.values()))
 
     def invalidate(self, line_addr: int) -> Optional[CacheLine]:
         """Remove a line (external invalidation).  Returns it, or None."""

@@ -223,11 +223,21 @@ class L2Controller:
                 # queued at the L2 port; go around and merge with it.
                 continue
             kind = TRANSPARENT if transparent else READ
-            result, late = yield from self._fetch(line_addr, kind, role)
+            entry = self._fetch_begin(line_addr, kind, role)
+            completed = False
+            start = self.engine.now
+            try:
+                result = yield from self.fabric.fetch(
+                    self.node_id, line_addr, kind, role)
+                completed = True
+                if self._fetch_hist is not None:
+                    self._fetch_hist.observe(self.engine.now - start)
+            finally:
+                self._fetch_finish(line_addr, entry, completed)
             # fetch_kind is pinned to the request (a migratory grant may
             # answer a read with M; it is still a read for Figure 7).
             self._fill(line_addr, result, role, fetch_kind="read",
-                       already_late=late)
+                       already_late=entry.late_classified)
             l1.insert(line_addr, SHARED)
             return
 
@@ -284,9 +294,19 @@ class L2Controller:
                                and not l2_line.transparent
                                and self.l2.probe(line_addr) is l2_line)
             kind = UPGRADE if has_shared_copy else EXCL
-            result, late = yield from self._fetch(line_addr, kind, role)
+            entry = self._fetch_begin(line_addr, kind, role)
+            completed = False
+            start = self.engine.now
+            try:
+                result = yield from self.fabric.fetch(
+                    self.node_id, line_addr, kind, role)
+                completed = True
+                if self._fetch_hist is not None:
+                    self._fetch_hist.observe(self.engine.now - start)
+            finally:
+                self._fetch_finish(line_addr, entry, completed)
             line = self._fill(line_addr, result, role, fetch_kind="excl",
-                              already_late=late)
+                              already_late=entry.late_classified)
             self._complete_store(proc_idx, line, in_critical_section)
             return
 
@@ -374,13 +394,14 @@ class L2Controller:
     # ------------------------------------------------------------------
     # Fetch/fill internals
     # ------------------------------------------------------------------
-    def _fetch(self, line_addr: int, kind: str, role: str,
-               classify: bool = True) -> Generator:
-        """Issue a coherence fetch and publish it as the line's MSHR entry.
+    def _fetch_begin(self, line_addr: int, kind: str, role: str,
+                     classify: bool = True) -> _Pending:
+        """Publish an MSHR entry for an outgoing coherence fetch.
 
-        Returns ``(result, late)`` where ``late`` reports whether an
-        R-stream request merged with this (A-stream) miss while it was in
-        flight — that fill must not later be classified A-Only.
+        Callers run ``fabric.fetch`` themselves (so this helper's frame is
+        not on the generator delegation chain — every engine event pays one
+        ``send`` walk per level) and must pair this with
+        :meth:`_fetch_finish` in a ``finally`` block.
         """
         event = SimEvent(self.engine)
         entry = _Pending(event, kind, role)
@@ -391,6 +412,34 @@ class L2Controller:
             else:
                 self.classifier.on_r_miss(self.node_id, line_addr,
                                           entry.stat_kind)
+        return entry
+
+    def _fetch_finish(self, line_addr: int, entry: _Pending,
+                      completed: bool) -> None:
+        """Retire an MSHR entry and wake merged waiters.
+
+        ``entry.late_classified`` afterwards reports whether an R-stream
+        request merged with this (A-stream) miss while it was in flight —
+        that fill must not later be classified A-Only.
+        """
+        if not completed and self.checker is not None:
+            # Killed between grant and fill (end-of-run A-stream
+            # retirement): the directory may register a copy that
+            # never lands.
+            self.checker.on_fetch_aborted(self.node_id, line_addr)
+        if self._pending.get(line_addr) is entry:
+            del self._pending[line_addr]
+        entry.event.trigger()
+
+    def _fetch(self, line_addr: int, kind: str, role: str,
+               classify: bool = True) -> Generator:
+        """Issue a coherence fetch and publish it as the line's MSHR entry.
+
+        Returns ``(result, late)``.  Retained as the convenience wrapper
+        for the non-hot paths (prefetches, tests); the demand load/store
+        paths inline the begin/finish pair instead.
+        """
+        entry = self._fetch_begin(line_addr, kind, role, classify=classify)
         completed = False
         start = self.engine.now
         try:
@@ -400,14 +449,7 @@ class L2Controller:
             if self._fetch_hist is not None:
                 self._fetch_hist.observe(self.engine.now - start)
         finally:
-            if not completed and self.checker is not None:
-                # Killed between grant and fill (end-of-run A-stream
-                # retirement): the directory may register a copy that
-                # never lands.
-                self.checker.on_fetch_aborted(self.node_id, line_addr)
-            if self._pending.get(line_addr) is entry:
-                del self._pending[line_addr]
-            entry.event.trigger()
+            self._fetch_finish(line_addr, entry, completed)
         return result, entry.late_classified
 
     def _fill(self, line_addr: int, result: FetchResult, role: str,

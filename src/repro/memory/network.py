@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Generator, List
 
-from repro.sim import Engine, Resource, Timeout
+from repro.sim import Engine, Resource
 
 
 class Network:
@@ -66,7 +66,7 @@ class Network:
                 self.jitter_cycles += extra
                 flight += extra
         yield self.out_ports[src].pass_through(occupancy)
-        yield Timeout(flight)
+        yield flight
         yield self.in_ports[dst].pass_through(occupancy)
 
     def post_transfer(self, src: int, dst: int, data: bool = False) -> None:

@@ -29,7 +29,6 @@ read-exclusive reply.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Generator, List, Optional
 
 from repro.config import MachineConfig
@@ -38,7 +37,7 @@ from repro.memory.address import AddressSpace
 from repro.memory.directory import (EXCLUSIVE, SHARED, UNCACHED,
                                     DirectoryEntry, DirectoryState)
 from repro.memory.network import Network
-from repro.sim import Engine, Process, Resource, Timeout
+from repro.sim import Engine, Process, Resource
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.memory.l2ctrl import L2Controller
@@ -50,20 +49,33 @@ UPGRADE = "upgrade"    # ownership upgrade, requester already shares
 TRANSPARENT = "transparent"  # A-stream transparent load
 
 
-@dataclass
 class FetchResult:
-    """Outcome of a coherence transaction, as seen by the requesting L2."""
+    """Outcome of a coherence transaction, as seen by the requesting L2.
 
-    #: state to install the line in ('S' or 'M')
-    state: str
-    #: fill is a transparent (A-visible-only) copy
-    transparent: bool = False
-    #: directory piggybacked a self-invalidation hint on the reply
-    si_hint: bool = False
-    #: the transparent request was upgraded to a normal load
-    upgraded: bool = False
-    #: the home node was the requester itself (local miss)
-    local: bool = False
+    A plain slotted class (not a dataclass): one is allocated per miss, so
+    construction cost is on the hot path.
+    """
+
+    __slots__ = ("state", "transparent", "si_hint", "upgraded", "local")
+
+    def __init__(self, state: str, transparent: bool = False,
+                 si_hint: bool = False, upgraded: bool = False,
+                 local: bool = False):
+        #: state to install the line in ('S' or 'M')
+        self.state = state
+        #: fill is a transparent (A-visible-only) copy
+        self.transparent = transparent
+        #: directory piggybacked a self-invalidation hint on the reply
+        self.si_hint = si_hint
+        #: the transparent request was upgraded to a normal load
+        self.upgraded = upgraded
+        #: the home node was the requester itself (local miss)
+        self.local = local
+
+    def __repr__(self) -> str:
+        return (f"FetchResult(state={self.state!r}, "
+                f"transparent={self.transparent}, si_hint={self.si_hint}, "
+                f"upgraded={self.upgraded}, local={self.local})")
 
 
 class CoherenceFabric:
@@ -152,13 +164,20 @@ class CoherenceFabric:
         home = self.space.home_of_line(line)
         local = home == node
 
-        # L2 -> DC hop at the requester.
-        yield Timeout(config.bus_time)
+        # L2 -> DC hop at the requester.  (Bare int yields schedule the
+        # resume directly, skipping a Timeout allocation per hop.)
+        yield config.bus_time
         if local:
             yield self.dcs[node].serve(config.pi_local_dc_time)
         else:
             yield self.dcs[node].serve(config.pi_remote_dc_time)
-            yield from self._request_hop(node, home)
+            if self.faults is not None and config.fault_net_drop_rate > 0.0:
+                yield from self._request_hop(node, home)
+            else:
+                # Fault-free fast path: skip the _request_hop frame (every
+                # event inside the transfer pays one `send` walk per
+                # delegation level).
+                yield from self.network.transfer(node, home, data=False)
             yield self.dcs[home].serve(config.ni_local_dc_time)
 
         # Serialize on the line's directory entry.
@@ -169,7 +188,22 @@ class CoherenceFabric:
             checker.on_txn_begin(node, line, kind, role)
         completed = False
         try:
-            result = yield from self._at_home(node, home, line, kind, role)
+            # Directory-side dispatch, inlined from the former _at_home
+            # wrapper so its frame is off the delegation chain.  Any
+            # R-stream request reaching the directory consumes that node's
+            # future-sharer bit (Section 4.2).
+            if role == "R":
+                self.directory.reset_future_sharer(line, node)
+            entry = self.directory.entry(line)
+            if kind == READ:
+                result = yield from self._read_at_home(node, home, line,
+                                                       entry)
+            elif kind == TRANSPARENT:
+                result = yield from self._transparent_at_home(node, home,
+                                                              line, entry)
+            else:  # EXCL and UPGRADE share the ownership path.
+                result = yield from self._excl_at_home(node, home, line,
+                                                       entry, kind)
             if checker is not None:
                 checker.on_txn_end(node, line, kind, role, result)
             completed = True
@@ -184,7 +218,7 @@ class CoherenceFabric:
         if not local:
             yield from self.network.transfer(home, node, data=True)
             yield self.dcs[node].serve(config.ni_remote_dc_time)
-        yield Timeout(config.bus_time)
+        yield config.bus_time
         result.local = local
         return result
 
@@ -217,7 +251,7 @@ class CoherenceFabric:
                 backoff = min(config.fault_net_backoff_base << min(attempt, 16),
                               config.fault_net_backoff_cap)
                 attempt += 1
-                yield Timeout(2 * config.net_time + backoff)
+                yield 2 * config.net_time + backoff
             if attempt and (attempt >= config.fault_net_max_retries
                             or self.engine.now >= deadline):
                 ctrl = self._nodes.get(node)
@@ -226,24 +260,9 @@ class CoherenceFabric:
         yield from self.network.transfer(node, home, data=False)
 
     # ------------------------------------------------------------------
-    # Directory-side actions (run while holding the line guard)
+    # Directory-side actions (run while holding the line guard; dispatch
+    # is inlined in fetch())
     # ------------------------------------------------------------------
-    def _at_home(self, node: int, home: int, line: int, kind: str,
-                 role: str) -> Generator:
-        entry = self.directory.entry(line)
-
-        # Any R-stream request reaching the directory consumes that node's
-        # future-sharer bit (Section 4.2).
-        if role == "R":
-            self.directory.reset_future_sharer(line, node)
-
-        if kind == TRANSPARENT:
-            return (yield from self._transparent_at_home(node, home, line, entry))
-        if kind == READ:
-            return (yield from self._read_at_home(node, home, line, entry))
-        # EXCL and UPGRADE share the ownership-acquisition path.
-        return (yield from self._excl_at_home(node, home, line, entry, kind))
-
     def _read_at_home(self, node: int, home: int, line: int,
                       entry: DirectoryEntry) -> Generator:
         config = self.config
@@ -267,7 +286,7 @@ class CoherenceFabric:
         if entry.state == EXCLUSIVE and entry.owner == node:
             # Raced with our own writeback; serve from memory.
             entry.clear()
-        yield Timeout(config.mem_time)
+        yield config.mem_time
         entry.add_sharer(node)
         return FetchResult(state=cachemod.SHARED)
 
@@ -285,9 +304,9 @@ class CoherenceFabric:
                 yield from self._invalidate_sharers(home, line, others)
             needs_data = kind == EXCL or node not in entry.sharers
             if needs_data:
-                yield Timeout(config.mem_time)
+                yield config.mem_time
         else:  # UNCACHED
-            yield Timeout(config.mem_time)
+            yield config.mem_time
         entry.set_exclusive(node)
         si_hint = (self.si_enabled and
                    bool(self.directory.future_sharers_other_than(line, node)))
@@ -309,7 +328,7 @@ class CoherenceFabric:
         if entry.state == EXCLUSIVE and entry.owner != node:
             owner = entry.owner
             self.transparent_replies += 1
-            yield Timeout(config.mem_time)
+            yield config.mem_time
             # The owner may have written the line back while memory was
             # being read; only hint a still-standing exclusive owner.
             if (self.si_enabled and entry.state == EXCLUSIVE
@@ -320,7 +339,7 @@ class CoherenceFabric:
         self.upgraded_transparent += 1
         if entry.state == EXCLUSIVE and entry.owner == node:
             entry.clear()
-        yield Timeout(config.mem_time)
+        yield config.mem_time
         entry.add_sharer(node)
         return FetchResult(state=cachemod.SHARED, upgraded=True)
 
@@ -345,15 +364,15 @@ class CoherenceFabric:
               invalidate=invalidate)
         yield from self.network.transfer(home, owner, data=False)
         yield self.dcs[owner].serve(config.ni_remote_dc_time)
-        yield Timeout(config.bus_time)  # DC -> L2 at the owner
+        yield config.bus_time  # DC -> L2 at the owner
         controller = self._nodes[owner]
         had_line = (controller.apply_invalidate(line) if invalidate
                     else controller.apply_downgrade(line))
-        yield Timeout(config.l2_hit_cycles)  # owner L2 array access
-        yield Timeout(config.bus_time)  # L2 -> DC at the owner
+        yield config.l2_hit_cycles  # owner L2 array access
+        yield config.bus_time  # L2 -> DC at the owner
         yield self.dcs[owner].serve(config.pi_remote_dc_time)
         yield from self.network.transfer(owner, home, data=True)
-        yield Timeout(config.mem_time)  # sharing/ownership writeback at home
+        yield config.mem_time  # sharing/ownership writeback at home
         if not had_line:
             self.intervention_races += 1
         # The owner may have concurrently written the line back (eviction

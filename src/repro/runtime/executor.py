@@ -5,6 +5,19 @@ The slipstream R-stream executor subclasses it to add token insertion,
 deviation checking, input forwarding, and self-invalidation kicks; the
 A-stream executor (different op semantics entirely) lives in
 :mod:`repro.slipstream.astream`.
+
+Two execution paths produce identical simulations:
+
+* the **generator path** (``program``) pulls ``Op`` objects from the
+  workload generator and type-dispatches each one;
+* the **tape path** (``tape``, see :mod:`repro.workloads.tape`) replays a
+  pre-compiled stream of ``(opcode, int)`` steps in a tight loop, calling
+  the processor's plain-function probes directly and dropping into
+  generator dispatch only for misses and non-memory ops.
+
+The paths are cycle-identical because the batched ops (compute bursts,
+L1-hit loads, owned-line fast stores) never yield to the engine, so no
+simulation state can change between them either way.
 """
 
 from __future__ import annotations
@@ -13,6 +26,7 @@ from typing import Generator, Iterator, Optional
 
 from repro.machine.processor import Processor
 from repro.runtime import ops as op
+from repro.runtime.ops import OP_COMPUTE, OP_LOAD, OP_STORE
 from repro.runtime.sync import SyncRegistry
 from repro.runtime.task import TaskContext
 from repro.sim import Process
@@ -22,12 +36,16 @@ class TaskExecutor:
     """Executes a program's ops one-for-one (conventional task)."""
 
     def __init__(self, processor: Processor, ctx: TaskContext,
-                 program: Iterator, registry: SyncRegistry,
-                 name: Optional[str] = None):
+                 program: Optional[Iterator], registry: SyncRegistry,
+                 name: Optional[str] = None, tape=None, tape_start: int = 0):
         self.processor = processor
         self.ctx = ctx
         self.program = program
         self.registry = registry
+        #: compiled OpTape replayed instead of ``program`` when set
+        self.tape = tape
+        #: replay start step (used by recovery reforks; see seek_session)
+        self.tape_start = tape_start
         self.name = name or f"task{ctx.task_id}({ctx.role})"
         self.session = 0          # completed sessions (barrier/event-waits)
         self.cs_depth = 0         # critical-section nesting
@@ -37,8 +55,11 @@ class TaskExecutor:
     # Lifecycle
     # ------------------------------------------------------------------
     def start(self) -> Process:
-        self.process = Process(self.processor.engine, self._run(),
-                               name=self.name)
+        # The tape path gets its own process body: the replay loop IS the
+        # outermost generator, so every engine resume reaches the waiting
+        # frame without trampolining through a wrapper.
+        body = self._replay() if self.tape is not None else self._run()
+        self.process = Process(self.processor.engine, body, name=self.name)
         return self.process
 
     def _run(self) -> Generator:
@@ -50,6 +71,110 @@ class TaskExecutor:
                 do_compute(operation.cycles)
                 continue
             yield from self.dispatch(operation)
+        yield from self._finish()
+
+    def _replay(self) -> Generator:
+        """Tape path: consume compute + L1-hit + fast-store runs in a
+        tight loop; only misses and generic ops reach the generators.
+
+        The bodies of :meth:`Processor.probe_load` / ``probe_store`` /
+        ``flush`` are inlined here (their semantics — counter order, the
+        per-op fault-stall opportunity, the single flush before a
+        globally-visible action — must be kept in lockstep; the
+        differential tests in tests/test_tape.py enforce it).
+        """
+        tape = self.tape
+        steps = tape.steps
+        if self.tape_start:
+            steps = steps[self.tape_start:]
+        objs = tape.objs
+        processor = self.processor
+        engine = processor.engine
+        ctrl = processor.ctrl
+        proc_idx = processor.proc_idx
+        breakdown = processor.breakdown
+        l1_lookup = processor._l1.lookup
+        try_fast_store = ctrl.try_fast_store
+        charge = processor._charge
+        dispatch = self.dispatch
+        role = self.ctx.role
+        # L1-hit bookkeeping is a no-op for every role this loop runs with
+        # except 'R' (the A-stream has its own replay loop): skip the call
+        # entirely for 'N' tasks.
+        on_l1_hit = ctrl.on_l1_hit if role == "R" else None
+        faults = processor._faults   # fixed for the run's duration
+        # Batched counters: each hit-run op bumps cheap locals; they are
+        # committed to the processor before anything externally visible (a
+        # yield to the engine, or dispatch of a generic op).  `pend` is
+        # both the pending busy cycles and the pending local-time cycles —
+        # every batched op contributes equally to breakdown.busy and
+        # processor._acc, so one local covers both.  A fault-injected
+        # stall goes straight to processor._acc (see _maybe_stall) and is
+        # summed with `pend` at the flush, preserving the oracle's timing.
+        pend = 0
+        n_ops = n_loads = n_stores = 0
+        for code, arg in steps:
+            if code == OP_COMPUTE:
+                pend += arg
+            elif code == OP_LOAD:
+                n_ops += 1
+                n_loads += 1
+                pend += 1
+                if faults is not None:
+                    processor._maybe_stall()
+                if l1_lookup(arg) is not None:
+                    if on_l1_hit is not None:
+                        on_l1_hit(arg, role)
+                else:
+                    processor.ops += n_ops
+                    processor.loads += n_loads
+                    processor.stores += n_stores
+                    breakdown.busy += pend
+                    delay = processor._acc + pend
+                    n_ops = n_loads = n_stores = 0
+                    pend = 0
+                    if delay:
+                        processor._acc = 0
+                        yield delay
+                    begin = engine.now
+                    yield from ctrl.load(proc_idx, role, arg)
+                    charge("stall", engine.now - begin)
+            elif code == OP_STORE:
+                n_ops += 1
+                n_stores += 1
+                pend += 1
+                if faults is not None:
+                    processor._maybe_stall()
+                in_cs = self.cs_depth > 0
+                if not try_fast_store(proc_idx, role, arg, in_cs):
+                    processor.ops += n_ops
+                    processor.loads += n_loads
+                    processor.stores += n_stores
+                    breakdown.busy += pend
+                    delay = processor._acc + pend
+                    n_ops = n_loads = n_stores = 0
+                    pend = 0
+                    if delay:
+                        processor._acc = 0
+                        yield delay
+                    begin = engine.now
+                    yield from ctrl.store(proc_idx, role, arg,
+                                          in_critical_section=in_cs)
+                    charge("stall", engine.now - begin)
+            else:
+                processor.ops += n_ops
+                processor.loads += n_loads
+                processor.stores += n_stores
+                breakdown.busy += pend
+                processor._acc += pend
+                n_ops = n_loads = n_stores = 0
+                pend = 0
+                yield from dispatch(objs[arg])
+        processor.ops += n_ops
+        processor.loads += n_loads
+        processor.stores += n_stores
+        breakdown.busy += pend
+        processor._acc += pend
         yield from self._finish()
 
     def _finish(self) -> Generator:

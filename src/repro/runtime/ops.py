@@ -14,6 +14,15 @@ the *same program* serves as R-stream and A-stream, exactly as in the paper.
 
 from __future__ import annotations
 
+# ----------------------------------------------------------------------
+# Compiled-tape opcodes (see repro.workloads.tape).  The three hot ops
+# that never suspend on their fast path get dense small codes; everything
+# else (synchronization, I/O) is replayed through the original Op object.
+# Defined here — not in the tape module — so the executor's replay loop
+# can import them without touching the workloads package.
+# ----------------------------------------------------------------------
+OP_COMPUTE, OP_LOAD, OP_STORE, OP_GENERIC = 0, 1, 2, 3
+
 
 class Op:
     """Base class (for isinstance checks in tests)."""

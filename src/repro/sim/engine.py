@@ -100,18 +100,30 @@ class Engine:
     # Scheduling
     # ------------------------------------------------------------------
     def schedule(self, delay: int, callback: Callable[[], None]) -> None:
-        """Run ``callback`` after ``delay`` cycles (0 = later this cycle)."""
+        """Run ``callback`` after ``delay`` cycles (0 = later this cycle).
+
+        ``delay`` must be a true ``int``: the clock is an integer cycle
+        count, and silently truncating a float here would hide a modeling
+        bug (a fractional latency) as a timing skew.  Rejecting at this
+        edge keeps the hot path a bare add + heap push.
+        """
+        if type(delay) is not int:
+            raise TypeError(f"delay must be an int cycle count, "
+                            f"got {type(delay).__name__}: {delay!r}")
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
         self._seq += 1
-        _heappush(self._heap, (self.now + int(delay), self._seq, callback))
+        _heappush(self._heap, (self.now + delay, self._seq, callback))
 
     def schedule_at(self, when: int, callback: Callable[[], None]) -> None:
         """Run ``callback`` at absolute cycle ``when`` (>= now)."""
+        if type(when) is not int:
+            raise TypeError(f"when must be an int cycle, "
+                            f"got {type(when).__name__}: {when!r}")
         if when < self.now:
             raise ValueError(f"cannot schedule in the past: {when} < {self.now}")
         self._seq += 1
-        _heappush(self._heap, (int(when), self._seq, callback))
+        _heappush(self._heap, (when, self._seq, callback))
 
     # ------------------------------------------------------------------
     # Execution

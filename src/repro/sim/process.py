@@ -31,7 +31,7 @@ class Timeout:
         self.delay = delay
 
     def wait(self, process: "Process") -> None:
-        process.engine.schedule(self.delay, process.resume)
+        process.engine.schedule(self.delay, process._resume)
 
 
 class Process:
@@ -44,7 +44,7 @@ class Process:
     """
 
     __slots__ = ("pid", "engine", "name", "_gen", "done", "result",
-                 "error", "_joiners", "_killed")
+                 "error", "_joiners", "_killed", "_resume")
 
     _next_id = 0
 
@@ -59,8 +59,11 @@ class Process:
         self.error: Optional[BaseException] = None
         self._joiners: list = []
         self._killed = False
+        #: the bound method is allocated once here; every timeout wake-up
+        #: reuses it instead of binding ``self.resume`` per event
+        self._resume = self.resume
         engine._live_processes[self.pid] = self
-        engine.schedule(0, self.resume)
+        engine.schedule(0, self._resume)
 
     def __repr__(self) -> str:
         state = "done" if self.done else "live"
@@ -94,12 +97,18 @@ class Process:
             self.error = exc
             self._finish(None)
             raise
-        if isinstance(yielded, bool):
+        # Timeout is by far the most common yield: dispatch on the exact
+        # class to skip both isinstance checks and the Timeout.wait call.
+        cls = yielded.__class__
+        if cls is Timeout:
+            self.engine.schedule(yielded.delay, self._resume)
+        elif cls is bool:
             raise TypeError(f"{self.name} yielded a bool; yield a cycle "
                             "count or a waitable")
-        if isinstance(yielded, int):
-            yielded = Timeout(yielded)
-        yielded.wait(self)
+        elif isinstance(yielded, int):
+            self.engine.schedule(yielded, self._resume)
+        else:
+            yielded.wait(self)
 
     def kill(self) -> None:
         """Terminate the process without resuming it again.

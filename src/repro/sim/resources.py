@@ -167,7 +167,7 @@ class Resource:
     """
 
     __slots__ = ("engine", "name", "_queue", "_busy", "total_jobs",
-                 "busy_cycles", "total_queue_cycles")
+                 "busy_cycles", "total_queue_cycles", "_tick")
 
     def __init__(self, engine: Engine, name: str = "resource"):
         self.engine = engine
@@ -178,6 +178,9 @@ class Resource:
         self.total_jobs = 0
         self.busy_cycles = 0
         self.total_queue_cycles = 0
+        #: reusable end-of-service callback for jobs with no blocked
+        #: process (posts and cut-through service starts)
+        self._tick = lambda: self._complete(None)
 
     class _Serve:
         __slots__ = ("resource", "service_time", "cut_through")
@@ -209,12 +212,39 @@ class Resource:
         jobs such as asynchronous writebacks still consume occupancy)."""
         self._enqueue(service_time, None, False)
 
+    def try_pass_through(self, service_time: int) -> bool:
+        """Cut-through service without suspending the caller: if the server
+        is idle, start the occupancy and return True — the caller proceeds
+        immediately, which is the same cycle the scheduled cut-through
+        resume would have run.  Returns False when the server is busy and
+        the caller must queue with :meth:`pass_through`."""
+        if self._busy:
+            return False
+        self._busy = True
+        self.total_jobs += 1
+        self.busy_cycles += service_time
+        self.engine.schedule(service_time, self._tick)
+        return True
+
     def _enqueue(self, service_time: int, process,
                  cut_through: bool) -> None:
-        self._queue.append((service_time, process, self.engine.now,
-                            cut_through))
-        if not self._busy:
-            self._start_next()
+        if self._busy:
+            self._queue.append((service_time, process, self.engine.now,
+                                cut_through))
+            return
+        # Idle server: start service now (queue delay is zero), skipping
+        # the append/popleft round trip of the general path.
+        self._busy = True
+        self.total_jobs += 1
+        self.busy_cycles += service_time
+        if cut_through and process is not None:
+            self.engine.schedule(0, process._resume)
+            process = None
+        if process is None:
+            self.engine.schedule(service_time, self._tick)
+        else:
+            self.engine.schedule(service_time,
+                                 lambda: self._complete(process))
 
     def _start_next(self) -> None:
         if not self._queue:
@@ -226,9 +256,12 @@ class Resource:
         self.busy_cycles += service_time
         self.total_queue_cycles += self.engine.now - enqueued_at
         if cut_through and process is not None:
-            self.engine.schedule(0, process.resume)
+            self.engine.schedule(0, process._resume)
             process = None
-        self.engine.schedule(service_time, lambda: self._complete(process))
+        if process is None:
+            self.engine.schedule(service_time, self._tick)
+        else:
+            self.engine.schedule(service_time, lambda: self._complete(process))
 
     def _complete(self, process) -> None:
         if process is not None:

@@ -29,6 +29,7 @@ from typing import Generator, Iterator, Optional
 from repro.machine.processor import Processor
 from repro.runtime import ops as op
 from repro.runtime.executor import TaskExecutor
+from repro.runtime.ops import OP_COMPUTE, OP_LOAD, OP_STORE
 from repro.runtime.sync import SyncRegistry
 from repro.runtime.task import TaskContext
 from repro.slipstream.pair import SlipstreamPair
@@ -39,10 +40,12 @@ class AStreamExecutor(TaskExecutor):
     """Reduced-task executor."""
 
     def __init__(self, processor: Processor, ctx: TaskContext,
-                 program: Iterator, registry: SyncRegistry,
-                 pair: SlipstreamPair, name: Optional[str] = None):
+                 program: Optional[Iterator], registry: SyncRegistry,
+                 pair: SlipstreamPair, name: Optional[str] = None,
+                 tape=None, tape_start: int = 0):
         super().__init__(processor, ctx, program, registry,
-                         name=name or f"task{ctx.task_id}(A)")
+                         name=name or f"task{ctx.task_id}(A)",
+                         tape=tape, tape_start=tape_start)
         self.pair = pair
         self._input_seq = pair.a_input_seq_base
         #: fault injector (None in fault-free builds; see repro.faults)
@@ -54,7 +57,7 @@ class AStreamExecutor(TaskExecutor):
         self.corruptions = 0
 
     # ------------------------------------------------------------------
-    # Main loop: like TaskExecutor's, plus cooperative abort.
+    # Main loops: like TaskExecutor's, plus cooperative abort.
     # ------------------------------------------------------------------
     def _run(self) -> Generator:
         do_compute = self.processor.do_compute
@@ -65,6 +68,122 @@ class AStreamExecutor(TaskExecutor):
                 do_compute(operation.cycles)
                 continue
             yield from self.dispatch(operation)
+        yield from self._finish()
+
+    def _replay(self) -> Generator:
+        """Tape path with the A-stream's reduction rules inlined.
+
+        Per-step semantics mirror the ``_on_*`` overrides below exactly —
+        including hook order: a transparent load is counted (and shown to
+        the checker) before the L1 probe, and the pattern log records the
+        line whether the probe hits or not.  The abort check runs at every
+        step, as in the generator loop; that is sufficient for
+        cooperative recovery because ``abort_requested`` can only flip
+        while this generator is suspended at a yield.  Like the base
+        replay loop, the probe/flush/prefetch bodies are inlined (kept in
+        lockstep by the differential tests).
+        """
+        tape = self.tape
+        steps = tape.steps
+        if self.tape_start:
+            steps = steps[self.tape_start:]
+        objs = tape.objs
+        pair = self.pair
+        processor = self.processor
+        engine = processor.engine
+        ctrl = processor.ctrl
+        proc_idx = processor.proc_idx
+        breakdown = processor.breakdown
+        l1_lookup = processor._l1.lookup
+        # For role 'A', on_l1_hit only feeds the fetch classifier; with no
+        # classifier installed it is a no-op — skip the call entirely.
+        on_l1_hit = ctrl.on_l1_hit if ctrl.classifier is not None else None
+        charge = processor._charge
+        dispatch = self.dispatch
+        checker = engine.checker
+        # Loop invariants (all fixed for the run's duration: tl_enabled is
+        # set at pair construction, the pattern log is installed by the
+        # driver before executors start, the fault injector before machine
+        # assembly).
+        faults = processor._faults
+        tl_enabled = pair.tl_enabled
+        pattern_log = pair.pattern_log
+        # Batched counters, exactly as in TaskExecutor._replay: committed
+        # before every yield or generic-op dispatch.  When the abort flag
+        # fires the locals are always zero (the flag can only flip while
+        # this generator is suspended, and every yield is preceded by a
+        # commit), but the return path commits anyway for safety.
+        pend = 0
+        n_ops = n_loads = 0
+        for code, arg in steps:
+            if pair.abort_requested:
+                processor.ops += n_ops
+                processor.loads += n_loads
+                breakdown.busy += pend
+                processor._acc += pend
+                return
+            if code == OP_COMPUTE:
+                pend += arg
+            elif code == OP_LOAD:
+                transparent = tl_enabled and (
+                    pair.a_session > pair.r_session or self.cs_depth > 0)
+                if transparent:
+                    self.transparent_loads += 1
+                    if checker is not None:
+                        checker.on_transparent_issue(pair, self.cs_depth)
+                if pattern_log is not None:
+                    pattern_log.record(pair.a_session, arg)
+                n_ops += 1
+                n_loads += 1
+                pend += 1
+                if faults is not None:
+                    processor._maybe_stall()
+                if l1_lookup(arg) is not None:
+                    if on_l1_hit is not None:
+                        on_l1_hit(arg, "A")
+                else:
+                    processor.ops += n_ops
+                    processor.loads += n_loads
+                    breakdown.busy += pend
+                    delay = processor._acc + pend
+                    n_ops = n_loads = 0
+                    pend = 0
+                    if delay:
+                        processor._acc = 0
+                        yield delay
+                    begin = engine.now
+                    yield from ctrl.load(proc_idx, "A", arg,
+                                         transparent=transparent)
+                    charge("stall", engine.now - begin)
+            elif code == OP_STORE:
+                if pair.a_session == pair.r_session and self.cs_depth == 0:
+                    # Converted to a non-binding exclusive prefetch
+                    # (Processor.prefetch_line, inlined).
+                    self.stores_converted += 1
+                    processor.ops += n_ops + 1
+                    processor.loads += n_loads
+                    breakdown.busy += pend + 1
+                    delay = processor._acc + pend + 1
+                    n_ops = n_loads = 0
+                    pend = 0
+                    processor._acc = 0
+                    yield delay
+                    ctrl.exclusive_prefetch(arg)
+                else:
+                    self.stores_skipped += 1
+                    pend += 1   # executed but not committed
+            else:
+                processor.ops += n_ops
+                processor.loads += n_loads
+                breakdown.busy += pend
+                processor._acc += pend
+                n_ops = n_loads = 0
+                pend = 0
+                yield from dispatch(objs[arg])
+        processor.ops += n_ops
+        processor.loads += n_loads
+        breakdown.busy += pend
+        processor._acc += pend
         yield from self._finish()
 
     # ------------------------------------------------------------------

@@ -51,7 +51,7 @@ class SlipstreamPair:
                  policy: ARSyncPolicy, tl_enabled: bool = False,
                  si_enabled: bool = False,
                  make_program: Callable[[], Iterator] = None,
-                 spawn_astream: Optional[Callable[["SlipstreamPair", Iterator], object]] = None):
+                 spawn_astream: Optional[Callable[..., object]] = None):
         self.engine = engine
         self.config = config
         self.task_id = task_id
@@ -65,6 +65,9 @@ class SlipstreamPair:
         #: callback that creates and starts a new A-stream executor; wired
         #: by the mode runner after pair construction
         self.spawn_astream = spawn_astream
+        #: compiled OpTape shared by both streams (set by the mode runner
+        #: for traceable workloads; None keeps the generator path)
+        self.tape = None
         self.tokens = SimSemaphore(engine, policy.initial_tokens)
         # session bookkeeping
         self.r_session = 0       # sessions completed by the R-stream
@@ -261,14 +264,22 @@ class SlipstreamPair:
         bucket to the policy's initial depth, and spawns the executor.
         """
         target = self.r_session
-        counters = {}
-        program = fast_forward(self.make_program(), target, counters)
-        self.a_input_seq_base = counters.get("inputs", 0)
+        if self.tape is not None:
+            # Tape path: seeking is a precomputed O(1) lookup instead of
+            # re-generating and consuming the program op by op.
+            start, inputs_skipped = self.tape.seek_session(target)
+            self.a_input_seq_base = inputs_skipped
+            program, tape_start = None, start
+        else:
+            counters = {}
+            program = fast_forward(self.make_program(), target, counters)
+            self.a_input_seq_base = counters.get("inputs", 0)
+            tape_start = 0
         self.tokens.drain()
         self.tokens.release(self.policy.initial_tokens)
         self.a_session = target
         self.a_reached = target
         self.abort_requested = False
-        self.a_executor = self.spawn_astream(self, program)
+        self.a_executor = self.spawn_astream(self, program, tape_start)
         if self.checker is not None:
             self.checker.on_refork(self)

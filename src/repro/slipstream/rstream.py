@@ -26,10 +26,12 @@ class RStreamExecutor(TaskExecutor):
     """Full-task executor with slipstream pair management."""
 
     def __init__(self, processor: Processor, ctx: TaskContext,
-                 program: Iterator, registry: SyncRegistry,
-                 pair: SlipstreamPair, name: Optional[str] = None):
+                 program: Optional[Iterator], registry: SyncRegistry,
+                 pair: SlipstreamPair, name: Optional[str] = None,
+                 tape=None, tape_start: int = 0):
         super().__init__(processor, ctx, program, registry,
-                         name=name or f"task{ctx.task_id}(R)")
+                         name=name or f"task{ctx.task_id}(R)",
+                         tape=tape, tape_start=tape_start)
         self.pair = pair
 
     # ------------------------------------------------------------------

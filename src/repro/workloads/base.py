@@ -43,6 +43,13 @@ class Workload(ABC):
     name: str = "workload"
     #: the data-set size used in the paper (Table 2)
     paper_size: str = ""
+    #: True when :meth:`program` is a pure function of ``(task_id,
+    #: n_tasks)`` — i.e. it never branches on ``ctx.role`` or executor
+    #: feedback — so one traced op-tape (repro.workloads.tape) can replay
+    #: for any stream.  Workloads that deliberately diverge per role
+    #: (DynSched's divergent mode) set this False and keep the generator
+    #: path.
+    traceable: bool = True
 
     @abstractmethod
     def allocate(self, allocator: SharedAllocator, n_tasks: int,

@@ -44,6 +44,10 @@ class DynSched(Workload):
         self.divergent = divergent
         self.forward_decisions = forward_decisions
         self.diverge_rounds = frozenset(diverge_rounds)
+        # Divergent mode emits role-dependent op streams (the A-stream
+        # wanders onto extra chunks), so a shared tape would erase the
+        # very deviation this kernel exists to provoke.
+        self.traceable = self.forward_decisions or not self.divergent
         self.data = None
         self.counter = None
 

@@ -41,6 +41,17 @@ def test_negative_delay_rejected(engine):
         engine.schedule(-1, lambda: None)
 
 
+def test_float_delay_rejected(engine):
+    # The clock is an int cycle count; a float delay is a modeling bug
+    # (fractional latency) and must fail loudly, not truncate silently.
+    with pytest.raises(TypeError):
+        engine.schedule(1.5, lambda: None)
+    with pytest.raises(TypeError):
+        engine.schedule_at(2.0, lambda: None)
+    with pytest.raises(TypeError):
+        engine.schedule(True, lambda: None)  # bool is not a cycle count
+
+
 def test_schedule_at_absolute_time(engine):
     seen = []
     engine.schedule_at(42, lambda: seen.append(engine.now))

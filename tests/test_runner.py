@@ -122,6 +122,34 @@ def test_runner_records_wall_time():
     assert runner.total_stats.total == 1
 
 
+def test_oversubscribed_jobs_capped_to_cpu_count(monkeypatch, capsys):
+    import repro.experiments.runner as runner_mod
+    monkeypatch.setattr(runner_mod.os, "cpu_count", lambda: 2)
+    runner = Runner(jobs=8)
+    assert runner.jobs == 8              # pooling still keyed on the ask
+    assert runner.jobs_effective == 2    # but workers are CPU-capped
+    note = capsys.readouterr().err
+    assert "jobs=8" in note and "capping pool workers at 2" in note
+
+
+def test_jobs_within_cpu_count_not_capped_and_silent(monkeypatch, capsys):
+    import repro.experiments.runner as runner_mod
+    monkeypatch.setattr(runner_mod.os, "cpu_count", lambda: 4)
+    runner = Runner(jobs=3)
+    assert runner.jobs_effective == 3
+    assert capsys.readouterr().err == ""
+
+
+def test_batch_stats_record_requested_and_effective_jobs(monkeypatch):
+    import repro.experiments.runner as runner_mod
+    monkeypatch.setattr(runner_mod.os, "cpu_count", lambda: 1)
+    runner = Runner(jobs=4)
+    stats = runner.run_batch([spec()]) and runner.last_stats
+    assert stats.jobs == 1 and stats.jobs_requested == 4
+    assert runner.total_stats.jobs == 1
+    assert runner.total_stats.jobs_requested == 4
+
+
 def test_batch_stats_merge_and_summary():
     merged = BatchStats(total=2, unique=2, executed=2, jobs=1,
                         serial_seconds=1.0, wall_seconds=1.0).merged_with(
