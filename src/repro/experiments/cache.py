@@ -30,7 +30,7 @@ import json
 import os
 from functools import lru_cache
 from pathlib import Path
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.experiments.driver import RunResult
 from repro.workloads.tape import TAPE_FORMAT_VERSION
@@ -152,6 +152,13 @@ class ResultCache:
             for path in self.root.glob("*.json.corrupt"):
                 path.unlink(missing_ok=True)
         return removed
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/write/quarantine counters plus the live entry count
+        (what the serving layer's ``/metrics`` endpoint exposes)."""
+        return {"entries": len(self), "hits": self.hits,
+                "misses": self.misses, "writes": self.writes,
+                "quarantined": self.quarantined}
 
     def __repr__(self) -> str:
         return (f"<ResultCache {self.root} entries={len(self)} "

@@ -189,10 +189,15 @@ class BatchStats:
         if self.failed or self.retried:
             resilience = (f", {self.failed} failed, "
                           f"{self.retried} retried after worker crashes")
+        # Report both counts when the CPU cap bit: `jobs` is what actually
+        # ran, `jobs_requested` is what the caller asked for.  Logging
+        # only one of the two made pooled service logs misleading.
+        jobs = (f"jobs={self.jobs}" if self.jobs_requested <= self.jobs
+                else f"jobs={self.jobs} capped from {self.jobs_requested}")
         return (f"{self.total} runs requested: {self.executed} simulated, "
                 f"{self.cache_hits} from disk cache, {self.memo_hits} "
                 f"memoized, {self.total - self.unique - self.memo_hits} "
-                f"deduplicated in-batch (jobs={self.jobs}){resilience}; "
+                f"deduplicated in-batch ({jobs}){resilience}; "
                 f"serial-equivalent {self.serial_seconds:.1f}s in "
                 f"{self.wall_seconds:.1f}s wall ({self.speedup:.2f}x)")
 

@@ -31,6 +31,19 @@ FAULT_PROFILES = {
                   fault_cpu_stall_rate=0.005, fault_cpu_stall_cycles=200,
                   degrade_after_reforks=4, degrade_window_sessions=16,
                   repromote_after_sessions=8),
+    # every coherence request dropped AND the retry escalation disabled
+    # (a practically-infinite retry budget with minimal backoff): no
+    # remote fetch ever completes, so a multi-node run only terminates
+    # via max_cycles.  A deliberate *stall*, not a perturbation — it
+    # exists to exercise wall-clock watchdogs (the Runner's pooled-
+    # progress watchdog, the serving layer's per-wave deadline).  Always
+    # pair it with max_cycles and n_cmps >= 2 (a single node has no
+    # network hops to drop).
+    "blackhole": dict(fault_net_drop_rate=1.0,
+                      fault_net_max_retries=2**31,
+                      fault_net_watchdog=2**31,
+                      fault_net_backoff_base=1,
+                      fault_net_backoff_cap=1),
 }
 
 __all__ = ["FaultInjector", "FAULT_PROFILES"]

@@ -104,6 +104,31 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (0..1) from the bucket counts.
+
+        Linear interpolation inside the containing bucket (Prometheus's
+        ``histogram_quantile`` convention, with an implicit lower edge of
+        0).  Observations above the highest finite bucket cannot be
+        located, so a quantile that falls in the overflow bucket returns
+        ``inf`` — a budget check against a finite bound then fails
+        loudly instead of silently under-reporting.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        running = 0
+        lower: Number = 0
+        for bound, in_bucket in zip(self.buckets, self.bucket_counts):
+            if in_bucket and running + in_bucket >= rank:
+                fraction = (rank - running) / in_bucket
+                return lower + (bound - lower) * fraction
+            running += in_bucket
+            lower = bound
+        return float("inf")
+
     def cumulative(self) -> List[Tuple[str, int]]:
         """``(le, count)`` pairs, cumulative, ending with ``+Inf``."""
         rows: List[Tuple[str, int]] = []

@@ -1,0 +1,25 @@
+"""Async simulation service: a long-lived, admission-controlled front-end.
+
+``python -m repro.serve`` starts an asyncio HTTP/JSON server (stdlib
+only) that accepts :class:`~repro.experiments.runner.RunSpec` requests
+and pushes them through an inference-serving-shaped pipeline::
+
+    admission -> single-flight dedup -> batch -> Runner.run_batch -> obs
+
+See :mod:`repro.serve.service` for the pipeline, :mod:`repro.serve.http`
+for the endpoints, :mod:`repro.serve.client` for the blocking client and
+the Runner-shaped adapter, and docs/architecture.md §12 for the
+admission/backpressure semantics and the bit-identity contract between
+served and direct runs.  ``scripts/loadgen.py`` replays deterministic
+seeded request traces against a running service.
+"""
+
+from repro.config import ServiceConfig
+from repro.serve.client import Client, ServiceError, ServiceRunner
+from repro.serve.http import ServerThread, ServiceServer
+from repro.serve.service import (Job, Shed, SimulationService,
+                                 deterministic_dict, spec_from_dict)
+
+__all__ = ["Client", "Job", "ServerThread", "ServiceConfig", "ServiceError",
+           "ServiceRunner", "ServiceServer", "Shed", "SimulationService",
+           "deterministic_dict", "spec_from_dict"]

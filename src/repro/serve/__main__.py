@@ -1,0 +1,119 @@
+"""Command-line entry point: ``python -m repro.serve [options]``.
+
+Starts the simulation service and blocks until interrupted.  Examples::
+
+    python -m repro.serve                         # 127.0.0.1:8642
+    python -m repro.serve --port 0 --jobs 4       # ephemeral port, pooled
+    python -m repro.serve --max-queue 8 --timeout 30
+
+Then::
+
+    curl -s localhost:8642/healthz
+    curl -s -X POST localhost:8642/runs \\
+         -d '{"workload": "sor", "mode": "single", "n_cmps": 2}'
+    curl -s localhost:8642/metrics
+
+``--verbose`` subscribes a line printer to the service's ``serve.*``
+bus categories, streaming admission/batch/completion events to stderr.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+
+from repro.config import ServiceConfig
+from repro.experiments.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.experiments.runner import Runner
+from repro.serve.http import ServiceServer
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve RunSpec simulations over a local HTTP/JSON API.")
+    defaults = ServiceConfig()
+    parser.add_argument("--host", default=defaults.host)
+    parser.add_argument("--port", type=int, default=defaults.port,
+                        help=f"TCP port (0 = ephemeral; default "
+                             f"{defaults.port})")
+    parser.add_argument("--max-queue", type=int, default=defaults.max_queue,
+                        help="admission bound: max unresolved unique jobs "
+                             f"(default {defaults.max_queue})")
+    parser.add_argument("--per-client", type=int,
+                        default=defaults.per_client_inflight,
+                        help="per-client in-flight cap "
+                             f"(default {defaults.per_client_inflight})")
+    parser.add_argument("--batch-window", type=float,
+                        default=defaults.batch_window_s, metavar="SEC",
+                        help="how long the batcher waits to fill a wave "
+                             f"(default {defaults.batch_window_s})")
+    parser.add_argument("--max-batch", type=int, default=defaults.max_batch,
+                        help="max specs per Runner.run_batch wave "
+                             f"(default {defaults.max_batch})")
+    parser.add_argument("--timeout", type=float,
+                        default=defaults.job_timeout_s, metavar="SEC",
+                        help="per-wave wall-clock watchdog; stuck jobs "
+                             "resolve as structured Timeout errors "
+                             f"(default {defaults.job_timeout_s})")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="Runner worker processes per wave (default 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk result cache")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        help=f"result-cache directory "
+                             f"(default: {DEFAULT_CACHE_DIR})")
+    parser.add_argument("--verbose", action="store_true",
+                        help="stream serve.* bus events to stderr")
+    return parser
+
+
+def make_server(args) -> ServiceServer:
+    config = ServiceConfig(
+        host=args.host, port=args.port, max_queue=args.max_queue,
+        per_client_inflight=args.per_client,
+        batch_window_s=args.batch_window, max_batch=args.max_batch,
+        job_timeout_s=args.timeout)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    # The Runner's pooled-progress watchdog backs the serve-level one:
+    # with --jobs > 1 a wave that stalls is first abandoned worker-by-
+    # worker inside the Runner, and only a wholly wedged wave trips the
+    # asyncio deadline above it.
+    runner = Runner(jobs=args.jobs, cache=cache,
+                    timeout=args.timeout if args.jobs > 1 else None)
+    server = ServiceServer(runner=runner, config=config)
+    if args.verbose:
+        def printer(now, category, subject, detail, event_args):
+            print(f"[serve] {category} {subject} {detail}", file=sys.stderr)
+        server.service.bus.subscribe(printer)
+    return server
+
+
+async def _amain(args) -> int:
+    server = make_server(args)
+    await server.start()
+    print(f"[serve] listening on http://{server.host}:{server.port} "
+          f"(max_queue={server.config.max_queue}, "
+          f"batch_window={server.config.batch_window_s}s, "
+          f"jobs={server.service.runner.jobs_effective})", file=sys.stderr)
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.stop()
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return asyncio.run(_amain(args))
+    except KeyboardInterrupt:
+        print("[serve] interrupted; shutting down", file=sys.stderr)
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,133 @@
+"""Synchronous client for the simulation service (stdlib ``http.client``).
+
+Two layers:
+
+* :class:`Client` — thin blocking wrapper over the HTTP/JSON API, one
+  connection per request (matching the server's ``Connection: close``
+  framing).  This is what the test suite and ad-hoc scripts use.
+* :class:`ServiceRunner` — a drop-in stand-in for
+  :class:`~repro.experiments.runner.Runner` that executes batches by
+  POSTing them to a service.  It satisfies the one method the figure
+  generators call (``run_batch``), so
+  ``figures.set_runner(ServiceRunner(client))`` routes an entire figure
+  regeneration through the serving layer — the metamorphic conformance
+  test uses exactly that to prove served and direct runs produce
+  identical EXPERIMENTS-table rows.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.driver import RunResult
+from repro.experiments.runner import BatchStats, RunSpec
+
+
+class ServiceError(RuntimeError):
+    """Non-2xx response from the service."""
+
+    def __init__(self, status: int, payload):
+        message = payload
+        if isinstance(payload, dict):
+            message = payload.get("error", {}).get("message", payload)
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.payload = payload
+        self.retry_after: Optional[float] = None
+
+
+class Client:
+    """Blocking JSON client for one service endpoint."""
+
+    def __init__(self, host: str, port: int, timeout: float = 300.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str, payload=None
+                 ) -> Tuple[int, Dict[str, str], object]:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            body = None if payload is None else json.dumps(payload)
+            conn.request(method, path, body=body,
+                         headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            raw = response.read()
+            headers = {k.lower(): v for k, v in response.getheaders()}
+            decoded: object = raw
+            if "json" in headers.get("content-type", ""):
+                decoded = json.loads(raw) if raw else None
+            return response.status, headers, decoded
+        finally:
+            conn.close()
+
+    def _checked(self, method: str, path: str, payload=None):
+        status, headers, body = self._request(method, path, payload)
+        if status >= 400:
+            error = ServiceError(status, body)
+            retry = headers.get("retry-after")
+            if retry is not None:
+                error.retry_after = float(retry)
+            raise error
+        return body
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def healthz(self) -> Dict[str, object]:
+        return self._checked("GET", "/healthz")
+
+    def metrics(self) -> Dict[str, float]:
+        return self._checked("GET", "/metrics")
+
+    def submit(self, spec: Dict[str, object], client: str = "anon",
+               wait: bool = True) -> Dict[str, object]:
+        path = "/runs" if wait else "/runs?wait=0"
+        return self._checked("POST", path,
+                             {"spec": spec, "client": client})
+
+    def batch(self, specs: Sequence[Dict[str, object]],
+              client: str = "anon") -> List[Dict[str, object]]:
+        body = self._checked("POST", "/batch",
+                             {"specs": list(specs), "client": client})
+        return body["results"]
+
+    def run_info(self, job_id: str) -> Dict[str, object]:
+        return self._checked("GET", f"/runs/{job_id}")
+
+
+class ServiceRunner:
+    """Runner-shaped adapter that delegates ``run_batch`` to a service.
+
+    Results come back in spec order (duplicates included), already
+    deserialized to :class:`RunResult` — exactly the contract
+    ``figures._batch`` relies on.  ``last_stats``/``total_stats`` mirror
+    the Runner's bookkeeping shape with the counts the service reports
+    (coalesced submissions show up as in-batch dedup).
+    """
+
+    def __init__(self, client: Client, client_id: str = "service-runner"):
+        self.client = client
+        self.client_id = client_id
+        self.last_stats: Optional[BatchStats] = None
+        self.total_stats = BatchStats()
+
+    def run(self, spec: RunSpec) -> RunResult:
+        return self.run_batch([spec])[0]
+
+    def run_batch(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+        entries = self.client.batch(
+            [spec.as_dict() for spec in specs], client=self.client_id)
+        results = [RunResult.from_dict(entry["result"])
+                   for entry in entries]
+        stats = BatchStats(total=len(specs),
+                           unique=len({spec for spec in specs}))
+        stats.failed = sum(1 for r in results if r.error is not None)
+        stats.serial_seconds = sum(r.wall_seconds for r in results)
+        self.last_stats = stats
+        self.total_stats = self.total_stats.merged_with(stats)
+        return results

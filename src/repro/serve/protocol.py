@@ -1,0 +1,189 @@
+"""Minimal HTTP/1.1 framing over asyncio streams (stdlib only).
+
+The serving layer speaks plain HTTP/JSON so any client — ``curl``, the
+load generator, the test suite's ``http.client`` — can drive it, but the
+repository takes no dependency on a web framework: this module is the
+entire wire protocol.  It implements exactly what the service needs and
+nothing more:
+
+* request parsing — request line, headers, ``Content-Length`` body
+  (``Transfer-Encoding: chunked`` is rejected with 411/400 semantics by
+  the caller; simulation clients never need it);
+* response rendering — status line, minimal headers,
+  ``Connection: close`` (one request per connection keeps the server
+  loop trivial and is plenty for a batch-simulation service whose unit
+  of work costs orders of magnitude more than a TCP handshake);
+* a client-side ``http_request`` coroutine used by the load generator
+  and the async tests.
+
+Bodies are JSON everywhere except ``/metrics?format=csv``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+#: request-line + headers must fit in this many bytes
+MAX_HEADER_BYTES = 32 * 1024
+#: request bodies above this are rejected (413)
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+REASONS = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    504: "Gateway Timeout",
+}
+
+
+class ProtocolError(Exception):
+    """Malformed request framing; the connection is answered 400/413
+    (when possible) and closed."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str                               #: path only, no query string
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)  #: lower-cased keys
+    body: bytes = b""
+
+    def json(self):
+        """Decode the body as JSON; raises :class:`ProtocolError` (400)
+        on undecodable content."""
+        if not self.body:
+            return None
+        try:
+            return json.loads(self.body)
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ProtocolError(400, f"invalid JSON body: {exc}") from None
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request from ``reader``; ``None`` on a cleanly closed
+    connection before any bytes arrive."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None                      # client closed; no request
+        raise ProtocolError(400, "truncated request head") from None
+    except asyncio.LimitOverrunError:
+        raise ProtocolError(413, "request head too large") from None
+    if len(head) > MAX_HEADER_BYTES:
+        raise ProtocolError(413, "request head too large")
+
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ProtocolError(400, f"malformed request line: {lines[0]!r}")
+    method, target = parts[0].upper(), parts[1]
+    split = urlsplit(target)
+    query = dict(parse_qsl(split.query, keep_blank_values=True))
+
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise ProtocolError(400, f"malformed header: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise ProtocolError(400, "chunked request bodies are not supported")
+
+    body = b""
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise ProtocolError(400,
+                            f"bad Content-Length: {length_text!r}") from None
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise ProtocolError(413, f"body of {length} bytes exceeds "
+                                 f"{MAX_BODY_BYTES}")
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise ProtocolError(400, "truncated request body") from None
+    return Request(method=method, path=split.path or "/", query=query,
+                   headers=headers, body=body)
+
+
+def render_response(status: int, body: bytes = b"",
+                    content_type: str = "application/json",
+                    extra_headers: Optional[Dict[str, str]] = None) -> bytes:
+    """Serialize one complete ``Connection: close`` response."""
+    reason = REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}",
+             f"Content-Type: {content_type}",
+             f"Content-Length: {len(body)}",
+             "Connection: close"]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def json_response(status: int, payload,
+                  extra_headers: Optional[Dict[str, str]] = None) -> bytes:
+    body = json.dumps(payload, sort_keys=True).encode()
+    return render_response(status, body, extra_headers=extra_headers)
+
+
+def error_response(status: int, message: str,
+                   extra_headers: Optional[Dict[str, str]] = None) -> bytes:
+    return json_response(status, {"error": {"status": status,
+                                            "message": message}},
+                         extra_headers=extra_headers)
+
+
+# ----------------------------------------------------------------------
+# Client side (load generator, async tests)
+# ----------------------------------------------------------------------
+async def http_request(host: str, port: int, method: str, path: str,
+                       payload=None, timeout: float = 60.0
+                       ) -> Tuple[int, Dict[str, str], object]:
+    """One request/response exchange; returns ``(status, headers, body)``
+    with the body JSON-decoded when the server says it is JSON."""
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), timeout)
+    try:
+        body = b"" if payload is None else json.dumps(payload).encode()
+        head = (f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {host}:{port}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n\r\n")
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(), timeout)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    head_blob, _, body_blob = raw.partition(b"\r\n\r\n")
+    lines = head_blob.decode("latin-1").split("\r\n")
+    status = int(lines[0].split(" ", 2)[1])
+    headers = {}
+    for line in lines[1:]:
+        name, sep, value = line.partition(":")
+        if sep:
+            headers[name.strip().lower()] = value.strip()
+    decoded: object = body_blob
+    if "json" in headers.get("content-type", ""):
+        decoded = json.loads(body_blob) if body_blob else None
+    return status, headers, decoded

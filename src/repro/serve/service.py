@@ -1,0 +1,445 @@
+"""The simulation service core: admission → dedup → batch → execute → observe.
+
+:class:`SimulationService` is the long-lived front-end the one-shot CLI
+never had.  It accepts :class:`~repro.experiments.runner.RunSpec`
+requests from any number of concurrent clients and funnels them through
+four stages, each reusing an existing subsystem rather than reinventing
+it:
+
+1. **admission** — a bounded queue of unresolved unique jobs plus a
+   per-client in-flight cap.  Work beyond either bound is *shed*
+   (:class:`Shed`, surfaced as HTTP 429 + ``Retry-After``) instead of
+   being buffered without bound;
+2. **single-flight dedup** — identical in-flight specs coalesce onto one
+   job, keyed by the spec's content-addressed result-cache key
+   (:meth:`RunSpec.key`), so a thundering herd of the same parameter
+   point costs one simulation;
+3. **batching** — admitted jobs are gathered for ``batch_window_s`` (or
+   until ``max_batch``) and executed as one
+   :meth:`~repro.experiments.runner.Runner.run_batch` wave, inheriting
+   the runner's in-batch dedup, memo, disk cache, pooling, crash retry,
+   and pooled-progress watchdog;
+4. **observation** — every stage feeds the ``repro.obs`` spine: probes on
+   a wall-clock bus (``serve.request`` / ``serve.shed`` / ``serve.batch``
+   / ``serve.done`` / ``serve.timeout``) and a
+   :class:`~repro.obs.registry.MetricsRegistry` (queue depth, batch
+   occupancy, shed/coalesced/executed counters, a request-latency
+   histogram that ``/metrics`` turns into p50/p95 gauges).
+
+A wall-clock watchdog guards each wave: jobs unresolved after
+``job_timeout_s`` resolve to the same structured ``error.type ==
+"Timeout"`` record the Runner's pooled watchdog produces.  The
+simulation thread itself cannot be killed (the Runner's serial leg has
+the same caveat), so a deliberately-stalled run — e.g. the fault layer's
+``blackhole`` profile, where every coherence request is dropped and only
+``max_cycles`` terminates the run — unblocks its *clients* immediately
+while the worker thread drains in the background; its late result is
+discarded.
+
+Bit-identity contract: the service never touches how a spec executes —
+it only decides *when* and *batched with what*.  A served result is
+therefore bit-identical (minus ``wall_seconds``) to a direct
+``Runner``/``execute_spec`` run of the same spec, which the conformance
+suite and the load generator's ``--verify`` both assert.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import itertools
+import threading
+import time
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import ServiceConfig
+from repro.experiments.driver import RunResult
+from repro.experiments.runner import Runner, RunSpec
+from repro.obs import MetricsRegistry, ObsBus
+
+#: request-latency histogram buckets, milliseconds (simulations run in
+#: the hundreds-of-ms to minutes range; the top finite bucket is the
+#: "budget" edge — a p95 beyond it reads as inf and fails budget checks)
+LATENCY_BUCKETS_MS = (1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500,
+                      5000, 10_000, 30_000, 60_000, 120_000)
+#: batch-occupancy histogram buckets (specs per wave)
+OCCUPANCY_BUCKETS = (1, 2, 4, 8, 16, 32, 64)
+
+#: deterministic RunResult fields — everything except the wall-clock
+#: measurement — used by identity checks between served and direct runs
+NONDETERMINISTIC_FIELDS = ("wall_seconds",)
+
+
+def deterministic_dict(result: RunResult) -> Dict[str, object]:
+    """``result.to_dict()`` minus the wall-clock field: the payload two
+    executions of the same spec must agree on, bit for bit."""
+    data = result.to_dict()
+    for name in NONDETERMINISTIC_FIELDS:
+        data.pop(name, None)
+    return data
+
+
+class WallClock:
+    """Engine stand-in for the obs bus: monotonic microseconds.
+
+    The bus stamps events with ``engine.now``; the service has no
+    simulated time, so its spine runs on the host clock instead.
+    """
+
+    __slots__ = ()
+
+    @property
+    def now(self) -> int:
+        return time.monotonic_ns() // 1000
+
+
+class Shed(Exception):
+    """Admission control rejected the request (HTTP 429)."""
+
+    def __init__(self, reason: str, retry_after_s: float):
+        super().__init__(reason)
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+
+
+class Job:
+    """One admitted unique spec and everyone waiting on it."""
+
+    __slots__ = ("id", "spec", "key", "clients", "future", "status",
+                 "submitted", "coalesced")
+
+    def __init__(self, job_id: str, spec: RunSpec, key: str, client: str,
+                 future: "asyncio.Future[RunResult]"):
+        self.id = job_id
+        self.spec = spec
+        self.key = key
+        self.clients = [client]
+        self.future = future
+        self.status = "queued"
+        self.submitted = time.monotonic()
+        self.coalesced = 0          #: duplicate submissions attached
+
+    def info(self) -> Dict[str, object]:
+        """JSON-able record for ``/runs/{id}``."""
+        record: Dict[str, object] = {
+            "id": self.id, "status": self.status,
+            "spec": self.spec.as_dict(), "label": self.spec.label(),
+            "key": self.key, "coalesced": self.coalesced,
+            "clients": list(self.clients),
+        }
+        if self.future.done() and not self.future.cancelled():
+            record["result"] = self.future.result().to_dict()
+        return record
+
+
+class SimulationService:
+    """Admission-controlled, coalescing, batching front-end to a
+    :class:`~repro.experiments.runner.Runner`.
+
+    All state is owned by the event loop the service runs on; the only
+    off-loop work is ``Runner.run_batch`` inside ``asyncio.to_thread``,
+    serialized by a lock so the (not thread-safe) runner never sees two
+    waves at once — an abandoned (timed-out) wave holds the lock until
+    its thread drains, so a stall degrades capacity, never correctness.
+    """
+
+    def __init__(self, runner: Optional[Runner] = None,
+                 config: Optional[ServiceConfig] = None):
+        self.runner = runner if runner is not None else Runner()
+        self.config = config if config is not None else ServiceConfig()
+        self.bus = ObsBus(WallClock())
+        self.registry = MetricsRegistry()
+        self.started = time.monotonic()
+
+        # probes (serve.* categories on the wall-clock bus)
+        self._p_request = self.bus.probe("serve.request")
+        self._p_shed = self.bus.probe("serve.shed")
+        self._p_batch = self.bus.probe("serve.batch")
+        self._p_done = self.bus.probe("serve.done")
+        self._p_timeout = self.bus.probe("serve.timeout")
+
+        # registry series (the /metrics schema)
+        reg = self.registry
+        self._g_depth = reg.gauge("serve.queue_depth")
+        self._m_requests = reg.counter("serve.requests")
+        self._m_shed = reg.counter("serve.shed")
+        self._m_coalesced = reg.counter("serve.coalesced")
+        self._m_batches = reg.counter("serve.batches")
+        self._m_executed = reg.counter("serve.executed")
+        self._m_cache_hits = reg.counter("serve.cache_hits")
+        self._m_memo_hits = reg.counter("serve.memo_hits")
+        self._m_failed = reg.counter("serve.failed")
+        self._m_timeouts = reg.counter("serve.timeouts")
+        self._h_latency = reg.histogram("serve.latency_ms",
+                                        buckets=LATENCY_BUCKETS_MS)
+        self._h_occupancy = reg.histogram("serve.batch_occupancy",
+                                          buckets=OCCUPANCY_BUCKETS)
+
+        self._queue: "asyncio.Queue[Job]" = asyncio.Queue()
+        self._inflight: Dict[str, Job] = {}       # cache key -> live job
+        self._history: "OrderedDict[str, Job]" = OrderedDict()
+        self._client_inflight: Dict[str, int] = {}
+        self._ids = itertools.count(1)
+        self._runner_lock = None                  # created lazily (thread)
+        self._batcher: Optional[asyncio.Task] = None
+        self.depth = 0                            #: unresolved unique jobs
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        if self._runner_lock is None:
+            self._runner_lock = threading.Lock()
+        if self._batcher is None:
+            self._batcher = asyncio.create_task(self._batch_loop())
+
+    async def stop(self) -> None:
+        if self._batcher is not None:
+            self._batcher.cancel()
+            try:
+                await self._batcher
+            except asyncio.CancelledError:
+                pass
+            self._batcher = None
+        for job in list(self._inflight.values()):
+            if not job.future.done():
+                self._resolve(job, self._error_result(
+                    job.spec, "ServiceStopped",
+                    "service shut down before the job ran"), "failed")
+
+    # ------------------------------------------------------------------
+    # Stage 1+2: admission and single-flight dedup
+    # ------------------------------------------------------------------
+    def submit_nowait(self, spec: RunSpec,
+                      client: str = "anon") -> Tuple[Job, bool]:
+        """Admit ``spec`` (or coalesce onto an identical in-flight job).
+
+        Returns ``(job, coalesced)``; raises :class:`Shed` when either
+        admission bound rejects the request.  Coalesced duplicates add no
+        simulation work, so they bypass the queue bound — but they do
+        count against their client's in-flight cap.
+        """
+        self._m_requests.inc()
+        cap = self.config.per_client_inflight
+        held = self._client_inflight.get(client, 0)
+        if held >= cap:
+            self._shed(spec, client,
+                       f"client {client!r} already has {held} in flight "
+                       f"(cap {cap})")
+        key = spec.key()
+        job = self._inflight.get(key)
+        if job is not None and not job.future.done():
+            job.coalesced += 1
+            job.clients.append(client)
+            self._client_inflight[client] = held + 1
+            self._m_coalesced.inc()
+            self._p_request(job.id, f"coalesced onto {spec.label()}",
+                            client=client)
+            return job, True
+        if self.depth >= self.config.max_queue:
+            self._shed(spec, client,
+                       f"queue full ({self.depth}/{self.config.max_queue} "
+                       f"unresolved jobs)")
+        job = Job(f"r{next(self._ids):06d}", spec, key, client,
+                  asyncio.get_running_loop().create_future())
+        self._inflight[key] = job
+        self._remember(job)
+        self._client_inflight[client] = held + 1
+        self.depth += 1
+        self._g_depth.set(self.depth)
+        self._queue.put_nowait(job)
+        self._p_request(job.id, spec.label(), client=client)
+        return job, False
+
+    def admit_batch(self, specs: List[RunSpec],
+                    client: str = "anon") -> List[Tuple[Job, bool]]:
+        """Admit a whole batch atomically: if the *new* unique work it
+        introduces does not fit the queue bound, nothing is admitted."""
+        new_keys = {spec.key() for spec in specs}
+        new_keys -= {key for key, job in self._inflight.items()
+                     if not job.future.done()}
+        if self.depth + len(new_keys) > self.config.max_queue:
+            self._shed(specs[0] if specs else None, client,
+                       f"batch of {len(new_keys)} new job(s) does not fit "
+                       f"the queue bound ({self.depth}/"
+                       f"{self.config.max_queue} in use)")
+        return [self.submit_nowait(spec, client) for spec in specs]
+
+    def _shed(self, spec: Optional[RunSpec], client: str, reason: str):
+        self._m_shed.inc()
+        self._p_shed(spec.label() if spec is not None else "batch",
+                     reason, client=client)
+        raise Shed(reason, self.config.retry_after_s)
+
+    # ------------------------------------------------------------------
+    # Stage 3: batching and execution
+    # ------------------------------------------------------------------
+    async def _batch_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            wave = [await self._queue.get()]
+            deadline = loop.time() + self.config.batch_window_s
+            while len(wave) < self.config.max_batch:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    wave.append(await asyncio.wait_for(self._queue.get(),
+                                                       remaining))
+                except asyncio.TimeoutError:
+                    break
+            await self._execute_wave(wave)
+
+    def _locked_run_batch(self, specs):
+        with self._runner_lock:
+            results = self.runner.run_batch(specs)
+            return results, self.runner.last_stats
+
+    async def _execute_wave(self, wave: List[Job]) -> None:
+        wave = [job for job in wave if not job.future.done()]
+        if not wave:
+            return
+        for job in wave:
+            job.status = "running"
+        self._m_batches.inc()
+        self._h_occupancy.observe(len(wave))
+        self._p_batch("wave", f"{len(wave)} spec(s)",
+                      jobs=[job.id for job in wave])
+        specs = [job.spec for job in wave]
+        try:
+            results, stats = await asyncio.wait_for(
+                asyncio.to_thread(self._locked_run_batch, specs),
+                self.config.job_timeout_s)
+        except asyncio.TimeoutError:
+            for job in wave:
+                self._m_timeouts.inc()
+                self._p_timeout(job.id, job.spec.label())
+                self._resolve(job, self._error_result(
+                    job.spec, "Timeout",
+                    f"no result within {self.config.job_timeout_s}s "
+                    f"(serve watchdog)"), "timeout")
+            return
+        self._m_executed.inc(stats.executed)
+        self._m_cache_hits.inc(stats.cache_hits)
+        self._m_memo_hits.inc(stats.memo_hits)
+        self._m_failed.inc(stats.failed)
+        for job, result in zip(wave, results):
+            self._resolve(job, result,
+                          "failed" if result.error is not None else "done")
+
+    # ------------------------------------------------------------------
+    # Resolution and bookkeeping
+    # ------------------------------------------------------------------
+    def _resolve(self, job: Job, result: RunResult, status: str) -> None:
+        if job.future.done():
+            return                       # late result of an abandoned wave
+        job.status = status
+        job.future.set_result(result)
+        if self._inflight.get(job.key) is job:
+            del self._inflight[job.key]
+        for client in job.clients:
+            held = self._client_inflight.get(client, 1)
+            if held <= 1:
+                self._client_inflight.pop(client, None)
+            else:
+                self._client_inflight[client] = held - 1
+        self.depth -= 1
+        self._g_depth.set(self.depth)
+        elapsed_ms = (time.monotonic() - job.submitted) * 1000.0
+        self._h_latency.observe(elapsed_ms)
+        self._p_done(job.id, f"{job.spec.label()} -> {status}",
+                     ms=round(elapsed_ms, 3))
+
+    def _remember(self, job: Job) -> None:
+        self._history[job.id] = job
+        while len(self._history) > self.config.history_limit:
+            self._history.popitem(last=False)
+
+    @staticmethod
+    def _error_result(spec: RunSpec, kind: str, message: str) -> RunResult:
+        """Structured failure record in the Runner's error shape."""
+        return RunResult(
+            workload=spec.workload, mode=spec.mode, n_cmps=spec.n_cmps,
+            exec_cycles=0, policy=spec.policy,
+            error={"type": kind, "message": message, "spec": spec.label()})
+
+    # ------------------------------------------------------------------
+    # Introspection (the HTTP layer renders these)
+    # ------------------------------------------------------------------
+    def job(self, job_id: str) -> Optional[Job]:
+        return self._history.get(job_id)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Health summary for ``/healthz``."""
+        value = self.registry.value
+        return {
+            "status": "ok",
+            "uptime_s": round(time.monotonic() - self.started, 3),
+            "queue_depth": self.depth,
+            "max_queue": self.config.max_queue,
+            "requests": value("serve.requests"),
+            "shed": value("serve.shed"),
+            "coalesced": value("serve.coalesced"),
+            "executed": value("serve.executed"),
+            "timeouts": value("serve.timeouts"),
+        }
+
+    def metrics_flat(self) -> Dict[str, float]:
+        """The registry's flat export, with latency quantile gauges and
+        the result cache's counters refreshed at scrape time."""
+        for q in (0.5, 0.95):
+            self.registry.gauge("serve.latency_quantile_ms",
+                                q=q).set(self._h_latency.quantile(q))
+        hits = (self._m_cache_hits.value + self._m_memo_hits.value
+                + self._m_coalesced.value)
+        total = hits + self._m_executed.value
+        self.registry.gauge("serve.hit_ratio").set(
+            hits / total if total else 0.0)
+        if self.runner.cache is not None:
+            for name, value in self.runner.cache.stats().items():
+                self.registry.gauge("serve.result_cache",
+                                    stat=name).set(value)
+        return self.registry.flat()
+
+
+# ----------------------------------------------------------------------
+# Wire-format helpers
+# ----------------------------------------------------------------------
+_SPEC_FIELDS = {f.name for f in dataclasses.fields(RunSpec)}
+
+
+def spec_from_dict(payload: Dict[str, object]) -> RunSpec:
+    """Build (and validate) a :class:`RunSpec` from a JSON object.
+
+    Raises ``ValueError`` on unknown fields, unknown workloads/modes, or
+    malformed ``config_overrides`` — the HTTP layer turns that into 400.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError(f"spec must be a JSON object, "
+                         f"got {type(payload).__name__}")
+    unknown = set(payload) - _SPEC_FIELDS
+    if unknown:
+        raise ValueError(f"unknown spec field(s): {sorted(unknown)}")
+    data = dict(payload)
+    overrides = data.get("config_overrides") or ()
+    if isinstance(overrides, dict):
+        overrides = tuple(overrides.items())
+    else:
+        try:
+            overrides = tuple((str(k), v) for k, v in overrides)
+        except (TypeError, ValueError):
+            raise ValueError("config_overrides must be a mapping or a "
+                             "list of [field, value] pairs") from None
+    data["config_overrides"] = overrides
+    from repro.workloads import REGISTRY
+    workload = data.get("workload")
+    if workload not in REGISTRY:
+        raise ValueError(f"unknown workload {workload!r}; choose from "
+                         f"{sorted(REGISTRY)}")
+    spec = RunSpec(**data)
+    try:
+        spec.resolve_config()        # validates override fields/values
+    except TypeError as exc:
+        raise ValueError(f"bad config_overrides: {exc}") from None
+    return spec
