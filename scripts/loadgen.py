@@ -4,7 +4,8 @@
 Builds a deterministic request trace from a seed (same seed => same
 specs in the same order, duplicates included), replays it against a
 running service with bounded concurrency, and reports what the service
-did: completions, sheds (429s), coalesced duplicates, and the p50/p95
+did: completions, sheds (429 back-pressure / 503 unavailability, with
+optional Retry-After-honouring retries), coalesced duplicates, and p50/p95
 request latency taken from the service's own obs histogram rather than
 client-side wall clocks.
 
@@ -76,23 +77,38 @@ def make_trace(seed: int, n: int,
 
 
 async def replay(host: str, port: int, trace: List[Dict[str, object]],
-                 concurrency: int, client_id: str,
-                 timeout: float) -> List[Dict[str, object]]:
+                 concurrency: int, client_id: str, timeout: float,
+                 shed_retries: int = 0) -> List[Dict[str, object]]:
     """Fire the whole trace with at most ``concurrency`` in flight;
-    returns one record per request, in trace order."""
+    returns one record per request, in trace order.
+
+    ``shed_retries`` > 0 honours the service's back-pressure protocol:
+    a 429/503 answer is retried after sleeping the server's (jittered)
+    ``Retry-After`` hint, up to that many times, before it counts as a
+    shed.
+    """
     semaphore = asyncio.Semaphore(concurrency)
 
     async def one(index: int, spec: Dict[str, object]) -> Dict[str, object]:
+        retried = 0
         async with semaphore:
             started = time.monotonic()
-            status, headers, body = await protocol.http_request(
-                host, port, "POST", "/runs",
-                {"spec": spec, "client": client_id}, timeout=timeout)
+            while True:
+                status, headers, body = await protocol.http_request(
+                    host, port, "POST", "/runs",
+                    {"spec": spec, "client": client_id}, timeout=timeout)
+                if status in (429, 503) and retried < shed_retries:
+                    retried += 1
+                    await asyncio.sleep(
+                        float(headers.get("retry-after", 0.1)))
+                    continue
+                break
             elapsed = time.monotonic() - started
         record: Dict[str, object] = {"index": index, "spec": spec,
                                      "status": status,
-                                     "client_seconds": round(elapsed, 4)}
-        if status == 429:
+                                     "client_seconds": round(elapsed, 4),
+                                     "retried": retried}
+        if status in (429, 503):
             record["shed"] = True
             record["retry_after"] = headers.get("retry-after")
         elif isinstance(body, dict):
@@ -144,6 +160,7 @@ def summarize(records: List[Dict[str, object]],
                          if not r.get("shed") and not r.get("error")),
         "shed": shed,
         "failed": failed,
+        "retried": sum(r.get("retried", 0) for r in records),
         "coalesced": sum(1 for r in records if r.get("coalesced")),
         # the service's own histogram, not client wall clocks
         "server_p50_ms": metrics.get("serve.latency_quantile_ms{q=0.5}"),
@@ -178,6 +195,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "deterministic fields with the served results")
     parser.add_argument("--allow-shed", action="store_true",
                         help="do not fail the run when requests are shed")
+    parser.add_argument("--shed-retries", type=int, default=0, metavar="N",
+                        help="retry a 429/503 up to N times, sleeping the "
+                             "server's Retry-After hint between attempts "
+                             "(default 0: shed immediately)")
+    parser.add_argument("--wait-ready", type=float, default=10.0,
+                        metavar="SEC",
+                        help="poll /healthz?ready=1 up to SEC before the "
+                             "replay starts (0 = skip; default 10)")
     parser.add_argument("--json", action="store_true",
                         help="print the full per-request records too")
     args = parser.parse_args(argv)
@@ -195,8 +220,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         split = urlsplit(args.url)
         host, port = split.hostname, split.port or 80
     try:
+        if args.wait_ready > 0:
+            from repro.serve import Client
+            if not Client(host, port, timeout=5.0).wait_ready(
+                    args.wait_ready):
+                print(f"[loadgen] service at {host}:{port} never became "
+                      f"ready within {args.wait_ready}s", file=sys.stderr)
+                return 1
         records = asyncio.run(replay(host, port, trace, args.concurrency,
-                                     args.client, args.timeout))
+                                     args.client, args.timeout,
+                                     shed_retries=args.shed_retries))
         _, _, metrics = asyncio.run(protocol.http_request(
             host, port, "GET", "/metrics", timeout=args.timeout))
     finally:

@@ -239,10 +239,25 @@ class ServiceConfig:
     #: many seconds are reported as ``error.type == "Timeout"`` (the same
     #: shape the Runner's pooled-progress watchdog produces)
     job_timeout_s: float = 120.0
-    #: seconds advertised in the 429 ``Retry-After`` header
+    #: seconds advertised in the 429/503 ``Retry-After`` header
     retry_after_s: float = 1.0
+    #: ± jitter fraction applied to every advertised ``Retry-After`` so
+    #: shed clients do not retry in a synchronized herd (0 disables)
+    retry_jitter: float = 0.2
     #: finished-job records kept for ``/runs/{id}`` (oldest evicted)
     history_limit: int = 1024
+    #: write-ahead job journal directory (None = journaling disabled;
+    #: with it disabled the service behaves byte-identically to the
+    #: journal-free serving layer)
+    journal_dir: Optional[str] = None
+    #: journal segment rotation threshold (records per segment)
+    journal_segment_records: int = 256
+    #: fsync every journal append (False trades durability for speed —
+    #: tests only)
+    journal_fsync: bool = True
+    #: graceful-drain budget: seconds a SIGTERM'd service waits for
+    #: in-flight jobs before shutting down anyway
+    drain_timeout_s: float = 30.0
 
     def __post_init__(self) -> None:
         if self.max_queue < 1:
@@ -251,11 +266,16 @@ class ServiceConfig:
             raise ValueError("per_client_inflight must be >= 1")
         if self.max_batch < 1:
             raise ValueError("max_batch must be >= 1")
-        for name in ("batch_window_s", "job_timeout_s", "retry_after_s"):
+        for name in ("batch_window_s", "job_timeout_s", "retry_after_s",
+                     "drain_timeout_s"):
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be > 0")
         if self.history_limit < 1:
             raise ValueError("history_limit must be >= 1")
+        if not 0.0 <= self.retry_jitter < 1.0:
+            raise ValueError("retry_jitter must be in [0, 1)")
+        if self.journal_segment_records < 1:
+            raise ValueError("journal_segment_records must be >= 1")
 
 
 def scaled_config(n_cmps: int = 16, **overrides) -> MachineConfig:

@@ -111,6 +111,18 @@ def main(argv=None) -> int:
                         help="pooled-run watchdog: abandon outstanding "
                              "simulations if no worker makes progress for "
                              "SEC seconds (jobs > 1 only)")
+    parser.add_argument("--supervised", action="store_true",
+                        help="execute through the supervised worker pool: "
+                             "per-job process isolation, crash/hang "
+                             "detection, bounded retries, and a per-spec "
+                             "circuit breaker (see --wall-limit/--rss-limit)")
+    parser.add_argument("--wall-limit", type=float, default=300.0,
+                        metavar="SEC",
+                        help="supervised only: per-job wall-clock kill "
+                             "limit (default 300)")
+    parser.add_argument("--rss-limit", type=int, default=None, metavar="MB",
+                        help="supervised only: per-job address-space limit "
+                             "(default: unlimited)")
     parser.add_argument("--metrics", action="store_true",
                         help="collect the observability spine's metrics "
                              "registry for every simulation and embed the "
@@ -157,9 +169,16 @@ def main(argv=None) -> int:
     if args.metrics:
         overrides["metrics"] = True
     cache = None if args.no_cache else ResultCache(args.cache_dir)
+    supervisor = None
+    if args.supervised:
+        from repro.experiments.supervisor import SupervisorConfig
+        supervisor = SupervisorConfig(workers=max(1, args.jobs),
+                                      wall_limit_s=args.wall_limit,
+                                      rss_limit_mb=args.rss_limit)
     runner = Runner(jobs=args.jobs, cache=cache,
                     config_overrides=overrides or None,
-                    timeout=args.timeout, fail_fast=args.fail_fast)
+                    timeout=args.timeout, fail_fast=args.fail_fast,
+                    supervisor=supervisor)
     previous_runner = figures.set_runner(runner)
     try:
         return _run_experiments(args, workloads, cmps)

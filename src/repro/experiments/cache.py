@@ -126,12 +126,37 @@ class ResultCache:
             pass  # racing process already quarantined or removed it
 
     def put(self, key: str, result: RunResult) -> None:
+        """Atomically (and durably) install ``key``'s entry.
+
+        Write-to-temp + ``os.replace`` guarantees no reader — including
+        the quarantine path — ever sees a torn entry; the fsync on the
+        temp file before the rename (and on the directory after it)
+        extends that to power loss: after a crash the entry is either
+        absent or complete, never partial under its final name.
+        """
         self.root.mkdir(parents=True, exist_ok=True)
         path = self._path(key)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(result.to_dict(), sort_keys=True))
+        with open(tmp, "w") as fh:
+            fh.write(json.dumps(result.to_dict(), sort_keys=True))
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, path)
+        self._fsync_dir()
         self.writes += 1
+
+    def _fsync_dir(self) -> None:
+        """Best-effort directory fsync so the rename itself is durable."""
+        try:
+            fd = os.open(self.root, os.O_RDONLY)
+        except OSError:                                # pragma: no cover
+            return
+        try:
+            os.fsync(fd)
+        except OSError:                                # pragma: no cover
+            pass
+        finally:
+            os.close(fd)
 
     def __contains__(self, key: str) -> bool:
         return self._path(key).exists()

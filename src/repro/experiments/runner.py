@@ -38,6 +38,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import MachineConfig, scaled_config
 from repro.experiments.driver import MODES, SLIPSTREAM, RunResult, run_mode
+from repro.experiments.supervisor import SupervisedPool, SupervisorConfig
 from repro.slipstream.arsync import policy_by_name
 from repro.workloads import make
 
@@ -231,12 +232,20 @@ class Runner:
 
     Error results are never written to the disk cache and never
     memoized, so a failed spec is re-attempted on the next batch.
+
+    ``supervisor`` switches execution to the supervised worker pool
+    (:mod:`repro.experiments.supervisor`): per-job process isolation,
+    wall-clock and address-space limits, crash retry with backoff, and
+    a per-spec circuit breaker whose state persists across batches —
+    the serving layer's execution backend.  Results remain
+    bit-identical to serial execution; only scheduling changes.
     """
 
     def __init__(self, jobs: int = 1, cache=None, memoize: bool = True,
                  config_overrides: Optional[Dict[str, Any]] = None,
                  timeout: Optional[float] = None, retries: int = 2,
-                 retry_backoff: float = 0.5, fail_fast: bool = False):
+                 retry_backoff: float = 0.5, fail_fast: bool = False,
+                 supervisor=None):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         if retries < 0:
@@ -265,6 +274,19 @@ class Runner:
         #: participate in spec identity, so checked and unchecked results
         #: never alias in the memo or the disk cache.
         self.config_overrides = dict(config_overrides or {})
+        #: supervised execution (repro.experiments.supervisor): per-job
+        #: process isolation, wall/RSS limits, crash retry, and a
+        #: per-spec circuit breaker that persists across batches.  Pass
+        #: ``True`` for defaults or a :class:`SupervisorConfig`.  When
+        #: set, every cache miss — even a lone one — runs in its own
+        #: supervised worker instead of the legacy executor/serial leg.
+        if supervisor is True:
+            supervisor = SupervisorConfig()
+        self.pool: Optional[SupervisedPool] = None
+        if supervisor is not None:
+            workers = (supervisor.workers if supervisor.workers > 0
+                       else self.jobs_effective)
+            self.pool = SupervisedPool(supervisor, workers=workers)
         self._memo: Dict[RunSpec, RunResult] = {}
         self.last_stats: Optional[BatchStats] = None
         self.total_stats = BatchStats(jobs=self.jobs_effective,
@@ -312,7 +334,9 @@ class Runner:
         else:
             misses = pending
 
-        if len(misses) > 1 and self.jobs > 1:
+        if self.pool is not None and misses:
+            self._execute_supervised(misses, results, stats)
+        elif len(misses) > 1 and self.jobs > 1:
             self._execute_pooled(misses, results, stats)
         else:
             for spec in misses:
@@ -338,6 +362,22 @@ class Runner:
         self.last_stats = stats
         self.total_stats = self.total_stats.merged_with(stats)
         return [results[spec] for spec in specs]
+
+    # ------------------------------------------------------------------
+    # Supervised execution (per-job isolation, limits, breaker)
+    # ------------------------------------------------------------------
+    def _execute_supervised(self, misses: List[RunSpec],
+                            results: Dict[RunSpec, RunResult],
+                            stats: BatchStats) -> None:
+        wave_results, wave = self.pool.run_wave(misses)
+        stats.retried += wave.retried
+        for spec in misses:
+            result = wave_results[spec]
+            if self.fail_fast and result.error is not None:
+                raise RuntimeError(
+                    f"{result.error['type']} running {spec.label()}: "
+                    f"{result.error['message']}")
+            results[spec] = result
 
     # ------------------------------------------------------------------
     # Pooled execution with crash retry and a progress watchdog

@@ -3,8 +3,15 @@
 Install a :class:`FaultInjector` on the engine before machine assembly
 (``System`` does this when ``MachineConfig.faults`` is set); components
 query it at every potential fault site.  See ``docs/architecture.md`` §9.
+
+:class:`HarnessChaos` (``repro.faults.harness``) is the *harness-level*
+counterpart: seeded worker-crash/hang and journal-crash-point decisions
+for the supervised worker pool and the serving layer's write-ahead
+journal.  See ``docs/architecture.md`` §13.
 """
 
+from repro.faults.harness import (HARNESS_PROFILES, JOURNAL_CRASH_POINTS,
+                                  HarnessChaos, SimulatedCrash)
 from repro.faults.injector import FaultInjector
 
 #: named fault-rate bundles for the CLI (``--faults PROFILE``) and CI.
@@ -46,4 +53,5 @@ FAULT_PROFILES = {
                       fault_net_backoff_cap=1),
 }
 
-__all__ = ["FaultInjector", "FAULT_PROFILES"]
+__all__ = ["FaultInjector", "FAULT_PROFILES", "HARNESS_PROFILES",
+           "JOURNAL_CRASH_POINTS", "HarnessChaos", "SimulatedCrash"]

@@ -1,0 +1,141 @@
+"""Harness-level chaos: deterministic faults for the *host* machinery.
+
+``repro.faults.injector`` perturbs the simulated machine; this module
+perturbs the machinery that runs it — worker processes and the serving
+layer's write-ahead journal.  A :class:`HarnessChaos` answers three
+questions, all derived from a seed with SHA-256 (no shared RNG state,
+so components can ask in any order without perturbing each other):
+
+* :meth:`worker_fault` — should this worker attempt die (simulated
+  segfault) or wedge (simulated hang)?  Drawn per ``(key, attempt)``,
+  so a retried job re-draws: at sub-1.0 rates retries usually land on a
+  clean draw and succeed, while a rate of 1.0 makes a spec *poison* —
+  every attempt crashes, which is what trips the supervisor's per-spec
+  circuit breaker.
+* :meth:`journal_crash` — should this journal append die before the
+  write, mid-write (a torn record the recovery scan must discard), or
+  after the write hit the disk but before the caller learned about it?
+
+Crashes surface as :class:`SimulatedCrash` (in-process tests catch it;
+worker children turn the "crash" decision into a real ``SIGKILL`` so the
+parent sees an honest dead process).  The profiles in
+:data:`HARNESS_PROFILES` bundle rates for the CLI (``--chaos``) and the
+CI harness-chaos smoke.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Optional
+
+#: named harness-fault bundles (``--chaos PROFILE`` on repro.serve and
+#: scripts/chaos_smoke.py).  Rates are per *decision*: one draw per
+#: worker attempt / journal append.
+HARNESS_PROFILES: Dict[str, Dict[str, float]] = {
+    # workers die mid-job; retries re-draw and usually recover
+    "worker-crash": dict(worker_crash_rate=0.35),
+    # workers wedge; the supervisor's wall-clock limit reaps them
+    "worker-hang": dict(worker_hang_rate=0.35),
+    # journal appends crash before/around the write (torn tails included)
+    "journal-crash": dict(journal_crash_rate=0.15),
+    # everything at once, rates tuned so small smokes still finish
+    "harness-chaos": dict(worker_crash_rate=0.25, worker_hang_rate=0.10,
+                          journal_crash_rate=0.05),
+    # every attempt crashes: a poison job, guaranteed to trip the breaker
+    "poison": dict(worker_crash_rate=1.0),
+}
+
+#: journal append crash points, in execution order
+JOURNAL_CRASH_POINTS = ("before-write", "torn-write", "after-write")
+
+
+class SimulatedCrash(Exception):
+    """An injected harness crash (in-process stand-in for ``kill -9``)."""
+
+
+class HarnessChaos:
+    """Seeded, stateless oracle for harness-level fault decisions.
+
+    Decisions are pure functions of ``(seed, domain, token)`` — two
+    instances with the same seed agree everywhere, including across the
+    process boundary (the supervisor ships ``(seed, rates)`` to worker
+    children, which rebuild the oracle locally).
+    """
+
+    __slots__ = ("seed", "worker_crash_rate", "worker_hang_rate",
+                 "journal_crash_rate")
+
+    def __init__(self, seed: int = 1, worker_crash_rate: float = 0.0,
+                 worker_hang_rate: float = 0.0,
+                 journal_crash_rate: float = 0.0):
+        for name, rate in (("worker_crash_rate", worker_crash_rate),
+                           ("worker_hang_rate", worker_hang_rate),
+                           ("journal_crash_rate", journal_crash_rate)):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        self.seed = seed
+        self.worker_crash_rate = worker_crash_rate
+        self.worker_hang_rate = worker_hang_rate
+        self.journal_crash_rate = journal_crash_rate
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_profile(cls, profile: str, seed: int = 1) -> "HarnessChaos":
+        try:
+            rates = HARNESS_PROFILES[profile]
+        except KeyError:
+            raise ValueError(f"unknown harness chaos profile {profile!r}; "
+                             f"choose from {sorted(HARNESS_PROFILES)}") \
+                from None
+        return cls(seed=seed, **rates)
+
+    def to_args(self) -> Dict[str, object]:
+        """Picklable constructor kwargs (how the oracle crosses to
+        worker child processes)."""
+        return {"seed": self.seed,
+                "worker_crash_rate": self.worker_crash_rate,
+                "worker_hang_rate": self.worker_hang_rate,
+                "journal_crash_rate": self.journal_crash_rate}
+
+    # ------------------------------------------------------------------
+    def _draw(self, domain: str, token: str) -> float:
+        digest = hashlib.sha256(
+            f"{self.seed}:{domain}:{token}".encode()).digest()
+        return int.from_bytes(digest[:8], "big") / 2 ** 64
+
+    # ------------------------------------------------------------------
+    # Worker faults
+    # ------------------------------------------------------------------
+    def worker_fault(self, key: str, attempt: int) -> Optional[str]:
+        """``"crash"``, ``"hang"``, or ``None`` for one worker attempt.
+
+        Crash is drawn first so a rate-1.0 crash profile is strictly
+        poison regardless of the hang rate.
+        """
+        if self.worker_crash_rate > 0.0 \
+                and self._draw("worker-crash", f"{key}#{attempt}") \
+                < self.worker_crash_rate:
+            return "crash"
+        if self.worker_hang_rate > 0.0 \
+                and self._draw("worker-hang", f"{key}#{attempt}") \
+                < self.worker_hang_rate:
+            return "hang"
+        return None
+
+    # ------------------------------------------------------------------
+    # Journal crash points
+    # ------------------------------------------------------------------
+    def journal_crash(self, point: str, token: str) -> bool:
+        """Does the journal append identified by ``token`` crash at
+        ``point`` (one of :data:`JOURNAL_CRASH_POINTS`)?"""
+        if point not in JOURNAL_CRASH_POINTS:
+            raise ValueError(f"unknown journal crash point {point!r}")
+        if self.journal_crash_rate <= 0.0:
+            return False
+        return self._draw(f"journal:{point}", token) < self.journal_crash_rate
+
+    def __repr__(self) -> str:
+        return (f"<HarnessChaos seed={self.seed} "
+                f"crash={self.worker_crash_rate} "
+                f"hang={self.worker_hang_rate} "
+                f"journal={self.journal_crash_rate}>")

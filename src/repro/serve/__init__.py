@@ -12,14 +12,22 @@ the Runner-shaped adapter, and docs/architecture.md §12 for the
 admission/backpressure semantics and the bit-identity contract between
 served and direct runs.  ``scripts/loadgen.py`` replays deterministic
 seeded request traces against a running service.
+
+Durability (docs/architecture.md §13): :mod:`repro.serve.journal` is a
+write-ahead job journal — with ``--journal-dir`` set, a ``kill -9``
+mid-wave loses no accepted work; the next start replays unresolved jobs
+(bit-identical results, the simulator being deterministic) before the
+readiness probe (``/healthz?ready=1``) goes green.
 """
 
 from repro.config import ServiceConfig
 from repro.serve.client import Client, ServiceError, ServiceRunner
 from repro.serve.http import ServerThread, ServiceServer
+from repro.serve.journal import JobJournal, JournalEntry, JournalReplay
 from repro.serve.service import (Job, Shed, SimulationService,
                                  deterministic_dict, spec_from_dict)
 
-__all__ = ["Client", "Job", "ServerThread", "ServiceConfig", "ServiceError",
+__all__ = ["Client", "Job", "JobJournal", "JournalEntry", "JournalReplay",
+           "ServerThread", "ServiceConfig", "ServiceError",
            "ServiceRunner", "ServiceServer", "Shed", "SimulationService",
            "deterministic_dict", "spec_from_dict"]

@@ -15,6 +15,14 @@ Then::
 
 ``--verbose`` subscribes a line printer to the service's ``serve.*``
 bus categories, streaming admission/batch/completion events to stderr.
+
+Durability & supervision: ``--journal-dir DIR`` arms the write-ahead
+job journal — a ``kill -9`` mid-wave loses no accepted work; the next
+start replays unresolved jobs before reporting ready.  ``--supervised``
+runs each job in its own watched process (``--wall-limit`` /
+``--rss-limit`` / ``--retries``, circuit breaker for poison specs), and
+``--chaos PROFILE`` arms deterministic harness faults for drills.
+SIGTERM triggers a graceful drain bounded by ``--drain-timeout``.
 """
 
 from __future__ import annotations
@@ -23,9 +31,13 @@ import argparse
 import asyncio
 import sys
 
+import signal
+
 from repro.config import ServiceConfig
 from repro.experiments.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.experiments.runner import Runner
+from repro.experiments.supervisor import SupervisorConfig
+from repro.faults.harness import HARNESS_PROFILES
 from repro.serve.http import ServiceServer
 
 
@@ -66,6 +78,42 @@ def build_parser() -> argparse.ArgumentParser:
                              f"(default: {DEFAULT_CACHE_DIR})")
     parser.add_argument("--verbose", action="store_true",
                         help="stream serve.* bus events to stderr")
+    durability = parser.add_argument_group(
+        "durability & supervision",
+        "write-ahead job journal, supervised worker pool, chaos")
+    durability.add_argument("--journal-dir", default=None, metavar="DIR",
+                            help="enable the write-ahead job journal in "
+                                 "DIR; on restart, unresolved jobs are "
+                                 "replayed (default: journaling off)")
+    durability.add_argument("--no-journal-fsync", action="store_true",
+                            help="skip the per-record fsync (faster, "
+                                 "loses crash durability)")
+    durability.add_argument("--drain-timeout", type=float,
+                            default=defaults.drain_timeout_s, metavar="SEC",
+                            help="SIGTERM graceful-drain budget "
+                                 f"(default {defaults.drain_timeout_s})")
+    durability.add_argument("--supervised", action="store_true",
+                            help="run waves through the supervised worker "
+                                 "pool (per-job isolation, crash/hang "
+                                 "detection, retries, circuit breaker)")
+    durability.add_argument("--wall-limit", type=float, default=300.0,
+                            metavar="SEC",
+                            help="supervised: per-job wall-clock limit "
+                                 "(default 300)")
+    durability.add_argument("--rss-limit", type=int, default=None,
+                            metavar="MB",
+                            help="supervised: per-job address-space limit "
+                                 "(default: unlimited)")
+    durability.add_argument("--retries", type=int, default=2,
+                            help="supervised: crash retry budget per job "
+                                 "(default 2)")
+    durability.add_argument("--chaos", default=None, metavar="PROFILE",
+                            choices=sorted(HARNESS_PROFILES),
+                            help="arm a harness chaos profile "
+                                 f"({', '.join(sorted(HARNESS_PROFILES))})")
+    durability.add_argument("--chaos-seed", type=int, default=1,
+                            help="seed for deterministic chaos draws "
+                                 "(default 1)")
     return parser
 
 
@@ -74,14 +122,24 @@ def make_server(args) -> ServiceServer:
         host=args.host, port=args.port, max_queue=args.max_queue,
         per_client_inflight=args.per_client,
         batch_window_s=args.batch_window, max_batch=args.max_batch,
-        job_timeout_s=args.timeout)
+        job_timeout_s=args.timeout, journal_dir=args.journal_dir,
+        journal_fsync=not args.no_journal_fsync,
+        drain_timeout_s=args.drain_timeout)
     cache = None if args.no_cache else ResultCache(args.cache_dir)
+    supervisor = None
+    if args.supervised:
+        supervisor = SupervisorConfig(
+            workers=max(1, args.jobs), wall_limit_s=args.wall_limit,
+            rss_limit_mb=args.rss_limit, retries=args.retries,
+            chaos_profile=args.chaos, chaos_seed=args.chaos_seed)
     # The Runner's pooled-progress watchdog backs the serve-level one:
     # with --jobs > 1 a wave that stalls is first abandoned worker-by-
     # worker inside the Runner, and only a wholly wedged wave trips the
-    # asyncio deadline above it.
+    # asyncio deadline above it.  --supervised replaces that pool with
+    # per-job isolated processes whose own wall/RSS limits fire first.
     runner = Runner(jobs=args.jobs, cache=cache,
-                    timeout=args.timeout if args.jobs > 1 else None)
+                    timeout=args.timeout if args.jobs > 1 else None,
+                    supervisor=supervisor)
     server = ServiceServer(runner=runner, config=config)
     if args.verbose:
         def printer(now, category, subject, detail, event_args):
@@ -96,13 +154,41 @@ async def _amain(args) -> int:
     print(f"[serve] listening on http://{server.host}:{server.port} "
           f"(max_queue={server.config.max_queue}, "
           f"batch_window={server.config.batch_window_s}s, "
-          f"jobs={server.service.runner.jobs_effective})", file=sys.stderr)
+          f"jobs={server.service.runner.jobs_effective}, "
+          f"journal={args.journal_dir or 'off'}, "
+          f"supervised={args.supervised})", file=sys.stderr, flush=True)
+    loop = asyncio.get_running_loop()
+    drained = asyncio.Event()
+
+    def _sigterm() -> None:
+        print(f"[serve] SIGTERM: draining "
+              f"(budget {server.config.drain_timeout_s}s)",
+              file=sys.stderr, flush=True)
+
+        async def _drain() -> None:
+            await server.drain()
+            drained.set()
+        asyncio.ensure_future(_drain())
     try:
-        await server.serve_forever()
+        loop.add_signal_handler(signal.SIGTERM, _sigterm)
+    except (NotImplementedError, RuntimeError):   # pragma: no cover
+        pass                                      # e.g. non-Unix loops
+    try:
+        serve = asyncio.ensure_future(server.serve_forever())
+        done_first = await asyncio.wait(
+            {serve, asyncio.ensure_future(drained.wait())},
+            return_when=asyncio.FIRST_COMPLETED)
+        for task in done_first[1]:                # cancel the loser
+            task.cancel()
+        await asyncio.gather(*done_first[1], return_exceptions=True)
+        if serve.done() and not serve.cancelled() \
+                and serve.exception() is not None:
+            raise serve.exception()
     except asyncio.CancelledError:
         pass
     finally:
-        await server.stop()
+        if not drained.is_set():
+            await server.stop()
     return 0
 
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.driver import RunResult
@@ -80,6 +81,31 @@ class Client:
     # ------------------------------------------------------------------
     def healthz(self) -> Dict[str, object]:
         return self._checked("GET", "/healthz")
+
+    def ready(self) -> bool:
+        """Readiness probe: True once journal replay is done, the
+        service is not draining, and the worker pool is healthy."""
+        try:
+            self._checked("GET", "/healthz?ready=1")
+            return True
+        except ServiceError as exc:
+            if exc.status == 503:
+                return False
+            raise
+
+    def wait_ready(self, timeout: float = 30.0,
+                   interval: float = 0.05) -> bool:
+        """Poll readiness until True or the timeout expires.  Connection
+        refusals count as not-ready (the server may still be binding)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            try:
+                if self.ready():
+                    return True
+            except (ConnectionError, OSError):
+                pass
+            time.sleep(interval)
+        return False
 
     def metrics(self) -> Dict[str, float]:
         return self._checked("GET", "/metrics")

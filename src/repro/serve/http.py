@@ -2,7 +2,10 @@
 
 Endpoints (all JSON unless noted):
 
-* ``GET  /healthz`` — liveness + queue summary;
+* ``GET  /healthz`` — liveness + queue summary.  ``?ready=1`` switches
+  to a *readiness* probe: 200 only when the service has finished its
+  journal replay, is not draining, and its worker pool is healthy —
+  503 otherwise (liveness stays 200 the whole time);
 * ``GET  /metrics`` — flat metrics export in the registry's series-name
   schema (``name{label=value}``); ``?format=csv`` for the CSV rendering;
 * ``POST /runs`` — submit one spec.  Body is either the spec object
@@ -14,7 +17,9 @@ Endpoints (all JSON unless noted):
   order (duplicates — in the list or against in-flight work — coalesce);
 * ``GET  /runs/{id}`` — job record: status, spec, result when done.
 
-Admission rejections are ``429`` with a ``Retry-After`` header.  A job
+Admission rejections carry a (jittered) ``Retry-After`` header: ``429``
+for back-pressure (queue or client cap full), ``503`` while the service
+is unavailable (journal replay, graceful drain, degraded pool).  A job
 killed by the serve watchdog answers ``504`` with the structured
 ``Timeout`` error result in the body; other execution failures answer
 ``200`` with ``result.error`` populated (the run *completed*, its
@@ -51,11 +56,23 @@ class ServiceServer:
     # Lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> None:
-        await self.service.start()
+        # Bind before the service starts so /healthz answers (not-ready)
+        # while a large journal replays; submissions shed with 503 until
+        # start() flips the readiness gate.
         self._server = await asyncio.start_server(
             self._handle, self.config.host, self.config.port)
         sock = self._server.sockets[0]
         self.host, self.port = sock.getsockname()[:2]
+        await self.service.start()
+
+    async def drain(self, timeout_s: Optional[float] = None) -> None:
+        """Graceful shutdown: stop accepting connections after in-flight
+        work drains (or the drain budget expires), then close."""
+        await self.service.drain(timeout_s)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
 
     async def stop(self) -> None:
         if self._server is not None:
@@ -88,7 +105,7 @@ class ServiceServer:
                 response = protocol.error_response(exc.status, str(exc))
             except Shed as exc:
                 response = protocol.error_response(
-                    429, exc.reason,
+                    exc.status, exc.reason,
                     {"Retry-After": f"{exc.retry_after_s:g}"})
             except Exception as exc:   # pragma: no cover - defensive
                 response = protocol.error_response(
@@ -105,7 +122,12 @@ class ServiceServer:
         if path == "/healthz":
             if method != "GET":
                 return protocol.error_response(405, "GET only")
-            return protocol.json_response(200, self.service.snapshot())
+            snap = self.service.snapshot()
+            if request.query.get("ready") in ("1", "true", "yes") \
+                    and not self.service.is_ready():
+                snap["status"] = "not-ready"
+                return protocol.json_response(503, snap)
+            return protocol.json_response(200, snap)
         if path == "/metrics":
             if method != "GET":
                 return protocol.error_response(405, "GET only")
@@ -239,11 +261,20 @@ class ServerThread:
         await self.server.stop()
 
     def stop(self) -> None:
-        if self._loop is not None and self._stop is not None:
+        if self._loop is not None and self._stop is not None \
+                and not self._loop.is_closed():
             self._loop.call_soon_threadsafe(self._stop.set)
         if self._thread is not None:
             self._thread.join(timeout=30)
             self._thread = None
+
+    def drain(self, timeout_s: Optional[float] = None) -> None:
+        """Graceful drain from the calling thread, then full stop."""
+        if self._loop is not None and self.server is not None:
+            future = asyncio.run_coroutine_threadsafe(
+                self.server.drain(timeout_s), self._loop)
+            future.result(timeout=(timeout_s or 30) + 10)
+        self.stop()
 
     def __enter__(self) -> "ServerThread":
         return self.start()

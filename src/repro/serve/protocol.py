@@ -36,7 +36,7 @@ REASONS = {
     200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
     405: "Method Not Allowed", 413: "Payload Too Large",
     429: "Too Many Requests", 500: "Internal Server Error",
-    504: "Gateway Timeout",
+    503: "Service Unavailable", 504: "Gateway Timeout",
 }
 
 

@@ -48,6 +48,8 @@ from __future__ import annotations
 import asyncio
 import dataclasses
 import itertools
+import random
+import sys
 import threading
 import time
 from collections import OrderedDict
@@ -56,7 +58,9 @@ from typing import Dict, List, Optional, Tuple
 from repro.config import ServiceConfig
 from repro.experiments.driver import RunResult
 from repro.experiments.runner import Runner, RunSpec
+from repro.faults.harness import HarnessChaos, SimulatedCrash
 from repro.obs import MetricsRegistry, ObsBus
+from repro.serve.journal import JobJournal
 
 #: request-latency histogram buckets, milliseconds (simulations run in
 #: the hundreds-of-ms to minutes range; the top finite bucket is the
@@ -95,12 +99,21 @@ class WallClock:
 
 
 class Shed(Exception):
-    """Admission control rejected the request (HTTP 429)."""
+    """Admission control rejected the request.
 
-    def __init__(self, reason: str, retry_after_s: float):
+    ``status`` distinguishes back-pressure (429: the queue or a client
+    cap is full, try again shortly) from unavailability (503: the
+    service is replaying its journal, draining for shutdown, or its
+    worker pool is unhealthy).  ``retry_after_s`` arrives pre-jittered
+    by the service so shed clients never retry in a synchronized herd.
+    """
+
+    def __init__(self, reason: str, retry_after_s: float,
+                 status: int = 429):
         super().__init__(reason)
         self.reason = reason
         self.retry_after_s = retry_after_s
+        self.status = status
 
 
 class Job:
@@ -145,12 +158,29 @@ class SimulationService:
     """
 
     def __init__(self, runner: Optional[Runner] = None,
-                 config: Optional[ServiceConfig] = None):
+                 config: Optional[ServiceConfig] = None,
+                 journal: Optional[JobJournal] = None,
+                 chaos: Optional[HarnessChaos] = None):
         self.runner = runner if runner is not None else Runner()
         self.config = config if config is not None else ServiceConfig()
         self.bus = ObsBus(WallClock())
         self.registry = MetricsRegistry()
         self.started = time.monotonic()
+
+        #: write-ahead job journal (None = durability disabled; the
+        #: service then behaves exactly as the journal-free layer did)
+        self._journal = journal
+        if self._journal is None and self.config.journal_dir is not None:
+            self._journal = JobJournal(
+                self.config.journal_dir,
+                segment_max_records=self.config.journal_segment_records,
+                fsync=self.config.journal_fsync, chaos=chaos)
+        #: lifecycle gates: not ready until start() finishes journal
+        #: replay; draining refuses new work ahead of shutdown
+        self.ready = False
+        self.draining = False
+        self.recovered = 0              #: jobs re-admitted by the last replay
+        self.journal_errors = 0         #: non-critical append failures
 
         # probes (serve.* categories on the wall-clock bus)
         self._p_request = self.bus.probe("serve.request")
@@ -158,6 +188,7 @@ class SimulationService:
         self._p_batch = self.bus.probe("serve.batch")
         self._p_done = self.bus.probe("serve.done")
         self._p_timeout = self.bus.probe("serve.timeout")
+        self._p_recovered = self.bus.probe("serve.recovered")
 
         # registry series (the /metrics schema)
         reg = self.registry
@@ -171,10 +202,14 @@ class SimulationService:
         self._m_memo_hits = reg.counter("serve.memo_hits")
         self._m_failed = reg.counter("serve.failed")
         self._m_timeouts = reg.counter("serve.timeouts")
+        self._m_recovered = reg.counter("serve.recovered")
+        self._m_unavailable = reg.counter("serve.unavailable")
         self._h_latency = reg.histogram("serve.latency_ms",
                                         buckets=LATENCY_BUCKETS_MS)
         self._h_occupancy = reg.histogram("serve.batch_occupancy",
                                           buckets=OCCUPANCY_BUCKETS)
+        self._h_replay = reg.histogram("serve.replay_ms",
+                                       buckets=LATENCY_BUCKETS_MS)
 
         self._queue: "asyncio.Queue[Job]" = asyncio.Queue()
         self._inflight: Dict[str, Job] = {}       # cache key -> live job
@@ -191,10 +226,53 @@ class SimulationService:
     async def start(self) -> None:
         if self._runner_lock is None:
             self._runner_lock = threading.Lock()
+        if self._journal is not None and not self.ready:
+            self._replay_journal()
+        self.ready = True
         if self._batcher is None:
             self._batcher = asyncio.create_task(self._batch_loop())
 
+    def _replay_journal(self) -> None:
+        """Recover the journal and re-admit every unresolved job.
+
+        Runs before the service reports ready.  Re-admitted jobs skip
+        the admission bounds (accepted work is never shed) and skip the
+        write-ahead append (they are already journaled); already-
+        resolved jobs need nothing — their results live in the result
+        cache and any re-request is a cache hit.
+        """
+        started = time.monotonic()
+        replay = self._journal.recover()
+        recovered = invalid = 0
+        for entry in replay.unresolved.values():
+            try:
+                spec = spec_from_dict(entry.spec)
+            except (ValueError, KeyError, TypeError) as exc:
+                invalid += 1
+                print(f"[serve] journal replay: dropping unreadable spec "
+                      f"for key {entry.key[:12]}...: {exc}", file=sys.stderr)
+                continue
+            job = self._admit(spec, entry.client, journal=False)
+            job.status = "recovered"
+            recovered += 1
+        elapsed_ms = (time.monotonic() - started) * 1000.0
+        self.recovered = recovered
+        self._m_recovered.inc(recovered)
+        self._h_replay.observe(elapsed_ms)
+        self._p_recovered(
+            "replay", f"{recovered} job(s) re-admitted, "
+            f"{len(replay.resolved)} already resolved, {invalid} invalid",
+            ms=round(elapsed_ms, 3), torn=replay.torn,
+            corrupt=replay.corrupt)
+        if recovered or replay.torn or replay.corrupt:
+            print(f"[serve] journal replay: {recovered} unresolved job(s) "
+                  f"re-admitted, {len(replay.resolved)} resolved, "
+                  f"{replay.torn} torn record(s) dropped, "
+                  f"{replay.corrupt} corrupt record(s) skipped "
+                  f"({elapsed_ms:.1f} ms)", file=sys.stderr)
+
     async def stop(self) -> None:
+        self.ready = False
         if self._batcher is not None:
             self._batcher.cancel()
             try:
@@ -204,9 +282,26 @@ class SimulationService:
             self._batcher = None
         for job in list(self._inflight.values()):
             if not job.future.done():
+                # Deliberately NOT journaled as resolved: a stop with
+                # work in flight must leave those jobs recoverable, so
+                # the next start re-admits them.
                 self._resolve(job, self._error_result(
                     job.spec, "ServiceStopped",
-                    "service shut down before the job ran"), "failed")
+                    "service shut down before the job ran"), "failed",
+                    journal=False)
+        if self._journal is not None:
+            self._journal.close()
+
+    async def drain(self, timeout_s: Optional[float] = None) -> None:
+        """Graceful shutdown: refuse new work (503), wait for in-flight
+        jobs up to the drain budget, then stop."""
+        self.draining = True
+        deadline = time.monotonic() + (
+            timeout_s if timeout_s is not None
+            else self.config.drain_timeout_s)
+        while self.depth > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.05)
+        await self.stop()
 
     # ------------------------------------------------------------------
     # Stage 1+2: admission and single-flight dedup
@@ -221,6 +316,9 @@ class SimulationService:
         count against their client's in-flight cap.
         """
         self._m_requests.inc()
+        if not self.is_ready():
+            self._m_unavailable.inc()
+            self._shed(spec, client, self._unready_reason(), status=503)
         cap = self.config.per_client_inflight
         held = self._client_inflight.get(client, 0)
         if held >= cap:
@@ -241,16 +339,37 @@ class SimulationService:
             self._shed(spec, client,
                        f"queue full ({self.depth}/{self.config.max_queue} "
                        f"unresolved jobs)")
+        job = self._admit(spec, client, key=key)
+        return job, False
+
+    def _admit(self, spec: RunSpec, client: str, *,
+               key: Optional[str] = None, journal: bool = True) -> Job:
+        """Create, journal, and enqueue a new unique job.
+
+        The ``accepted`` record is written (and fsynced) *before* any
+        service state mutates — if the append fails, the request errors
+        out with nothing admitted, so every job the service ever holds
+        is recoverable.  Journal replay calls this with ``journal=False``
+        (the record already exists) and bypasses the admission bounds:
+        accepted work is never shed.
+        """
+        if key is None:
+            key = spec.key()
+        if journal and self._journal is not None:
+            # Write-ahead: raises on failure (including an injected
+            # journal-crash fault) before the job exists anywhere.
+            self._journal.accepted(key, spec.as_dict(), client)
         job = Job(f"r{next(self._ids):06d}", spec, key, client,
                   asyncio.get_running_loop().create_future())
         self._inflight[key] = job
         self._remember(job)
-        self._client_inflight[client] = held + 1
+        self._client_inflight[client] = (
+            self._client_inflight.get(client, 0) + 1)
         self.depth += 1
         self._g_depth.set(self.depth)
         self._queue.put_nowait(job)
         self._p_request(job.id, spec.label(), client=client)
-        return job, False
+        return job
 
     def admit_batch(self, specs: List[RunSpec],
                     client: str = "anon") -> List[Tuple[Job, bool]]:
@@ -266,11 +385,39 @@ class SimulationService:
                        f"{self.config.max_queue} in use)")
         return [self.submit_nowait(spec, client) for spec in specs]
 
-    def _shed(self, spec: Optional[RunSpec], client: str, reason: str):
+    def _shed(self, spec: Optional[RunSpec], client: str, reason: str,
+              status: int = 429):
         self._m_shed.inc()
         self._p_shed(spec.label() if spec is not None else "batch",
-                     reason, client=client)
-        raise Shed(reason, self.config.retry_after_s)
+                     reason, client=client, status=status)
+        raise Shed(reason, self._retry_after(), status=status)
+
+    def _retry_after(self) -> float:
+        """Configured retry hint with ±``retry_jitter`` uniform noise so
+        simultaneously-shed clients do not retry in one synchronized
+        herd (which would be shed again, forever)."""
+        base = self.config.retry_after_s
+        jitter = self.config.retry_jitter
+        if jitter <= 0.0:
+            return base
+        return base * (1.0 + random.uniform(-jitter, jitter))
+
+    def is_ready(self) -> bool:
+        """Readiness: replay finished, not draining, worker pool (when
+        supervised) not degraded or breaker-quarantined."""
+        if not self.ready or self.draining:
+            return False
+        pool = getattr(self.runner, "pool", None)
+        if pool is not None and not pool.healthy():
+            return False
+        return True
+
+    def _unready_reason(self) -> str:
+        if self.draining:
+            return "service is draining for shutdown"
+        if not self.ready:
+            return "service is starting (journal replay in progress)"
+        return "worker pool unhealthy (degraded or breaker open)"
 
     # ------------------------------------------------------------------
     # Stage 3: batching and execution
@@ -302,6 +449,7 @@ class SimulationService:
             return
         for job in wave:
             job.status = "running"
+            self._journal_note("started", job.key)
         self._m_batches.inc()
         self._h_occupancy.observe(len(wave))
         self._p_batch("wave", f"{len(wave)} spec(s)",
@@ -331,11 +479,16 @@ class SimulationService:
     # ------------------------------------------------------------------
     # Resolution and bookkeeping
     # ------------------------------------------------------------------
-    def _resolve(self, job: Job, result: RunResult, status: str) -> None:
+    def _resolve(self, job: Job, result: RunResult, status: str,
+                 journal: bool = True) -> None:
         if job.future.done():
             return                       # late result of an abandoned wave
         job.status = status
         job.future.set_result(result)
+        if journal:
+            error = result.error or {}
+            self._journal_note("resolved", job.key, status=status,
+                               error_type=error.get("type"))
         if self._inflight.get(job.key) is job:
             del self._inflight[job.key]
         for client in job.clients:
@@ -350,6 +503,26 @@ class SimulationService:
         self._h_latency.observe(elapsed_ms)
         self._p_done(job.id, f"{job.spec.label()} -> {status}",
                      ms=round(elapsed_ms, 3))
+
+    def _journal_note(self, kind: str, key: str, status: str = "done",
+                      error_type: Optional[str] = None) -> None:
+        """Advisory journal append (``started``/``resolved``).
+
+        Unlike the write-ahead ``accepted`` record, these only *narrow*
+        recovery work — losing one means a restart re-runs a job it
+        could have skipped, which determinism makes harmless.  So append
+        failures are swallowed into a counter instead of killing the
+        batch loop.
+        """
+        if self._journal is None:
+            return
+        try:
+            if kind == "started":
+                self._journal.started(key)
+            else:
+                self._journal.resolved(key, status, error_type=error_type)
+        except Exception:
+            self.journal_errors += 1
 
     def _remember(self, job: Job) -> None:
         self._history[job.id] = job
@@ -373,8 +546,10 @@ class SimulationService:
     def snapshot(self) -> Dict[str, object]:
         """Health summary for ``/healthz``."""
         value = self.registry.value
-        return {
+        snap: Dict[str, object] = {
             "status": "ok",
+            "ready": self.is_ready(),
+            "draining": self.draining,
             "uptime_s": round(time.monotonic() - self.started, 3),
             "queue_depth": self.depth,
             "max_queue": self.config.max_queue,
@@ -383,7 +558,15 @@ class SimulationService:
             "coalesced": value("serve.coalesced"),
             "executed": value("serve.executed"),
             "timeouts": value("serve.timeouts"),
+            "recovered": self.recovered,
+            "journal_errors": self.journal_errors,
         }
+        if self._journal is not None:
+            snap["journal"] = self._journal.stats()
+        pool = getattr(self.runner, "pool", None)
+        if pool is not None:
+            snap["pool"] = pool.stats()
+        return snap
 
     def metrics_flat(self) -> Dict[str, float]:
         """The registry's flat export, with latency quantile gauges and
@@ -400,6 +583,27 @@ class SimulationService:
             for name, value in self.runner.cache.stats().items():
                 self.registry.gauge("serve.result_cache",
                                     stat=name).set(value)
+        if self._journal is not None:
+            for name, value in self._journal.stats().items():
+                self.registry.gauge("serve.journal", stat=name).set(value)
+            self.registry.gauge("serve.journal_errors").set(
+                self.journal_errors)
+        pool = getattr(self.runner, "pool", None)
+        if pool is not None:
+            stats = pool.stats()
+            breaker = stats.pop("breaker")
+            for state, count in breaker.items():
+                self.registry.gauge("runner.breaker",
+                                    state=state).set(count)
+            self.registry.gauge("runner.pool_workers").set(
+                stats.pop("workers"))
+            self.registry.gauge("runner.degraded").set(
+                stats.pop("degraded"))
+            stats.pop("configured_workers", None)
+            for name in ("worker_crashes", "worker_hangs", "retries",
+                         "breaker_trips", "breaker_short_circuits"):
+                self.registry.gauge(f"runner.{name}").set(
+                    stats.get(name, 0))
         return self.registry.flat()
 
 

@@ -1,0 +1,254 @@
+"""Write-ahead job journal: framing, recovery, rotation, compaction,
+and the injected append-crash points (``repro.serve.journal``)."""
+
+from __future__ import annotations
+
+import json
+import zlib
+
+import pytest
+
+from repro.faults.harness import (HARNESS_PROFILES, JOURNAL_CRASH_POINTS,
+                                  HarnessChaos, SimulatedCrash)
+from repro.serve.journal import JobJournal
+
+
+def make(tmp_path, **kwargs):
+    kwargs.setdefault("fsync", False)     # tmpfs tests need no durability
+    return JobJournal(tmp_path / "wal", **kwargs)
+
+
+SPEC = {"workload": "sor", "mode": "single", "n_cmps": 2}
+
+
+# ----------------------------------------------------------------------
+# Basic lifecycle and replay
+# ----------------------------------------------------------------------
+def test_accept_start_resolve_roundtrip(tmp_path):
+    with make(tmp_path) as journal:
+        journal.accepted("k1", SPEC, client="alice")
+        journal.started("k1")
+        journal.resolved("k1", "done")
+        journal.accepted("k2", SPEC, client="bob")
+        assert journal.live == 1
+
+    replay = make(tmp_path).recover()
+    assert set(replay.unresolved) == {"k2"}
+    assert replay.unresolved["k2"].client == "bob"
+    assert replay.unresolved["k2"].spec == SPEC
+    assert replay.resolved == {"k1": "done"}
+    assert replay.torn == replay.corrupt == 0
+
+
+def test_started_without_resolve_stays_unresolved(tmp_path):
+    with make(tmp_path) as journal:
+        journal.accepted("k1", SPEC)
+        journal.started("k1")
+    replay = make(tmp_path).recover()
+    assert set(replay.unresolved) == {"k1"}
+    # diagnostic: the job died mid-simulation, not queued
+    assert replay.unresolved["k1"].status == "started"
+
+
+def test_reaccept_after_resolution_reopens_the_key(tmp_path):
+    with make(tmp_path) as journal:
+        journal.accepted("k1", SPEC)
+        journal.resolved("k1", "done")
+        journal.accepted("k1", SPEC)        # re-submitted after resolution
+    replay = make(tmp_path).recover()
+    assert set(replay.unresolved) == {"k1"}
+    assert "k1" not in replay.resolved
+
+
+def test_failed_resolution_records_error_type(tmp_path):
+    with make(tmp_path) as journal:
+        journal.accepted("k1", SPEC)
+        journal.resolved("k1", "failed", error_type="WorkerCrash")
+    replay = make(tmp_path).recover()
+    assert replay.resolved == {"k1": "failed"}
+
+
+def test_recover_is_idempotent(tmp_path):
+    with make(tmp_path) as journal:
+        for index in range(5):
+            journal.accepted(f"k{index}", SPEC)
+        journal.resolved("k0", "done")
+    first = make(tmp_path).recover()
+    second = make(tmp_path).recover()
+    assert set(first.unresolved) == set(second.unresolved) \
+        == {"k1", "k2", "k3", "k4"}
+
+
+# ----------------------------------------------------------------------
+# Torn tails and corruption
+# ----------------------------------------------------------------------
+def test_torn_tail_is_dropped_and_truncated(tmp_path):
+    with make(tmp_path) as journal:
+        journal.accepted("k1", SPEC)
+        journal.accepted("k2", SPEC)
+        path = journal._segment_path(journal._segment_index)
+    # chop the final record mid-line: the kill -9 signature
+    raw = path.read_bytes()
+    path.write_bytes(raw[:-7])
+
+    replay = make(tmp_path).recover()
+    assert replay.torn == 1
+    assert set(replay.unresolved) == {"k1"}
+    # ... and the torn bytes are physically gone (recovery compacts into
+    # a fresh segment whose records all parse)
+    again = make(tmp_path).recover()
+    assert again.torn == 0
+    assert set(again.unresolved) == {"k1"}
+
+
+def test_mid_file_corruption_stops_the_scan(tmp_path):
+    with make(tmp_path) as journal:
+        journal.accepted("k1", SPEC)
+        journal.accepted("k2", SPEC)
+        journal.accepted("k3", SPEC)
+        path = journal._segment_path(journal._segment_index)
+    lines = path.read_bytes().splitlines(keepends=True)
+    lines[1] = b"00000000 {\"garbage\": true}\n"     # bad CRC mid-file
+    path.write_bytes(b"".join(lines))
+
+    replay = make(tmp_path).recover()
+    assert replay.corrupt == 1
+    # nothing after the corrupt line can be trusted
+    assert set(replay.unresolved) == {"k1"}
+
+
+def test_checksum_actually_guards_payload(tmp_path):
+    body = json.dumps({"type": "accepted", "key": "k1", "spec": {},
+                       "client": "x", "seq": 1},
+                      sort_keys=True, separators=(",", ":")).encode()
+    good = b"%08x %s\n" % (zlib.crc32(body), body)
+    tampered = good.replace(b'"k1"', b'"k2"')
+    root = tmp_path / "wal"
+    root.mkdir()
+    (root / "wal-000001.log").write_bytes(tampered)
+    replay = make(tmp_path).recover()
+    assert replay.records == 0
+    assert replay.unresolved == {}
+
+
+# ----------------------------------------------------------------------
+# Rotation and compaction
+# ----------------------------------------------------------------------
+def test_rotation_seals_segments(tmp_path):
+    journal = make(tmp_path, segment_max_records=2, compact_segments=100)
+    for index in range(5):
+        journal.accepted(f"k{index}", SPEC)
+    assert journal.rotations == 2
+    assert journal.stats()["segments"] == 3
+    journal.close()
+    replay = make(tmp_path).recover()
+    assert len(replay.unresolved) == 5
+
+
+def test_compaction_bounds_growth_by_live_jobs(tmp_path):
+    journal = make(tmp_path, segment_max_records=4, compact_segments=2)
+    # churn: lots of resolved traffic, one job left live at the end
+    for index in range(40):
+        key = f"k{index}"
+        journal.accepted(key, SPEC)
+        if index != 39:
+            journal.resolved(key, "done")
+    assert journal.compactions > 0
+    assert journal.stats()["segments"] <= 2
+    journal.close()
+    replay = make(tmp_path).recover()
+    assert set(replay.unresolved) == {"k39"}
+
+
+def test_recovery_compacts_to_one_segment(tmp_path):
+    journal = make(tmp_path, segment_max_records=2, compact_segments=100)
+    for index in range(7):
+        journal.accepted(f"k{index}", SPEC)
+    journal.close()
+    fresh = make(tmp_path)
+    fresh.recover()
+    assert fresh.stats()["segments"] == 1
+    assert fresh.live == 7
+
+
+# ----------------------------------------------------------------------
+# Injected crash points
+# ----------------------------------------------------------------------
+class AlwaysCrash(HarnessChaos):
+    """Chaos stub that fires at exactly one journal crash point."""
+
+    __slots__ = ("point",)
+
+    def __init__(self, point):
+        super().__init__(seed=0, journal_crash_rate=1.0)
+        assert point in JOURNAL_CRASH_POINTS
+        self.point = point
+
+    def journal_crash(self, point, token):
+        return point == self.point
+
+
+def test_crash_before_write_loses_the_record_cleanly(tmp_path):
+    journal = make(tmp_path, chaos=AlwaysCrash("before-write"))
+    with pytest.raises(SimulatedCrash):
+        journal.accepted("k1", SPEC)
+    journal.close()
+    replay = make(tmp_path).recover()
+    assert replay.unresolved == {}       # nothing admitted, nothing lost
+    assert replay.torn == 0
+
+
+def test_crash_mid_write_leaves_a_recoverable_torn_tail(tmp_path):
+    journal = make(tmp_path)
+    journal.accepted("k0", SPEC)         # a good record first
+    journal.chaos = AlwaysCrash("torn-write")
+    with pytest.raises(SimulatedCrash):
+        journal.accepted("k1", SPEC)
+    journal.close()
+    replay = make(tmp_path).recover()
+    assert replay.torn == 1
+    assert set(replay.unresolved) == {"k0"}
+
+
+def test_crash_after_write_keeps_the_record(tmp_path):
+    journal = make(tmp_path, chaos=AlwaysCrash("after-write"))
+    with pytest.raises(SimulatedCrash):
+        journal.accepted("k1", SPEC)
+    journal.close()
+    replay = make(tmp_path).recover()
+    # durable before the crash: the record must survive
+    assert set(replay.unresolved) == {"k1"}
+
+
+def test_chaos_draws_are_deterministic():
+    a = HarnessChaos(seed=9, journal_crash_rate=0.3, worker_crash_rate=0.3)
+    b = HarnessChaos(**a.to_args())
+    for token in ("1:accepted:k1", "2:started:k1", "3:resolved:k1"):
+        for point in JOURNAL_CRASH_POINTS:
+            assert a.journal_crash(point, token) \
+                == b.journal_crash(point, token)
+    for attempt in range(4):
+        assert a.worker_fault("key", attempt) \
+            == b.worker_fault("key", attempt)
+
+
+def test_profiles_build_and_poison_is_certain():
+    for name in HARNESS_PROFILES:
+        chaos = HarnessChaos.from_profile(name, seed=3)
+        assert isinstance(chaos, HarnessChaos)
+    poison = HarnessChaos.from_profile("poison")
+    assert all(poison.worker_fault("any-key", attempt) == "crash"
+               for attempt in range(5))
+    with pytest.raises(ValueError):
+        HarnessChaos.from_profile("no-such-profile")
+
+
+def test_stats_counters(tmp_path):
+    journal = make(tmp_path, segment_max_records=2)
+    journal.accepted("k1", SPEC)
+    journal.resolved("k1", "done")
+    stats = journal.stats()
+    assert stats["appended"] == 2
+    assert stats["live"] == 0
+    assert stats["rotations"] == 1
+    journal.close()

@@ -164,7 +164,9 @@ def test_healthz_and_metrics_schema():
                          "serve.latency_quantile_ms{q=0.5}",
                          "serve.latency_quantile_ms{q=0.95}",
                          "serve.latency_ms_count",
-                         "serve.batch_occupancy_count"):
+                         "serve.batch_occupancy_count",
+                         "serve.recovered", "serve.unavailable",
+                         "serve.replay_ms_count"):
             assert expected in metrics, expected
 
 
@@ -239,7 +241,9 @@ def test_queue_bound_sheds_with_retry_after():
             client.submit(OTHER)
         thread.join()
         assert excinfo.value.status == 429
-        assert excinfo.value.retry_after == 2.5
+        # Retry-After is jittered by ±retry_jitter (default 0.2) so shed
+        # clients never retry in a synchronized herd.
+        assert 2.5 * 0.8 <= excinfo.value.retry_after <= 2.5 * 1.2
         assert first["status"] == "done"
         assert client.metrics()["serve.shed"] == 1
 
@@ -394,7 +398,9 @@ def test_figure5_served_rows_match_direct_rows_warm_cache(tmp_path):
 @pytest.mark.parametrize("kwargs", [
     dict(max_queue=0), dict(per_client_inflight=0), dict(max_batch=0),
     dict(batch_window_s=0), dict(job_timeout_s=-1), dict(retry_after_s=0),
-    dict(history_limit=0),
+    dict(history_limit=0), dict(drain_timeout_s=0),
+    dict(retry_jitter=-0.1), dict(retry_jitter=1.0),
+    dict(journal_segment_records=0),
 ])
 def test_service_config_rejects_bad_bounds(kwargs):
     with pytest.raises(ValueError):
@@ -427,6 +433,28 @@ def test_cli_make_server_wires_config_cache_and_verbose(capsys):
     assert server.service.runner.timeout is None
 
 
+def test_cli_make_server_durability_flags(tmp_path):
+    from repro.serve import __main__ as cli
+
+    args = cli.build_parser().parse_args(
+        ["--port", "0", "--no-cache",
+         "--journal-dir", str(tmp_path / "wal"), "--no-journal-fsync",
+         "--drain-timeout", "5", "--supervised", "--jobs", "2",
+         "--wall-limit", "7", "--rss-limit", "512", "--retries", "1",
+         "--chaos", "worker-crash", "--chaos-seed", "9"])
+    server = cli.make_server(args)
+    assert server.config.journal_dir == str(tmp_path / "wal")
+    assert server.config.journal_fsync is False
+    assert server.config.drain_timeout_s == 5
+    pool = server.service.runner.pool
+    assert pool is not None
+    assert pool.config.wall_limit_s == 7
+    assert pool.config.rss_limit_mb == 512
+    assert pool.config.retries == 1
+    assert pool.chaos is not None and pool.chaos.seed == 9
+    assert server.service._journal is not None
+
+
 def test_cli_amain_starts_serves_and_shuts_down(capsys):
     from repro.serve import __main__ as cli
 
@@ -440,6 +468,27 @@ def test_cli_amain_starts_serves_and_shuts_down(capsys):
 
     assert asyncio.run(drive()) == 0
     assert "listening on http://127.0.0.1:" in capsys.readouterr().err
+
+
+def test_cli_amain_sigterm_drains_gracefully(capsys):
+    import os
+    import signal
+
+    from repro.serve import __main__ as cli
+
+    args = cli.build_parser().parse_args(
+        ["--port", "0", "--no-cache", "--drain-timeout", "5"])
+
+    async def drive():
+        task = asyncio.create_task(cli._amain(args))
+        await asyncio.sleep(0.3)          # bind + install the handler
+        os.kill(os.getpid(), signal.SIGTERM)
+        return await asyncio.wait_for(task, timeout=30)
+
+    assert asyncio.run(drive()) == 0
+    err = capsys.readouterr().err
+    assert "listening on" in err
+    assert "SIGTERM: draining" in err
 
 
 def test_history_eviction_keeps_only_the_newest_jobs():
