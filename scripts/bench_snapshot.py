@@ -30,10 +30,18 @@ coalescing.  ``--micro`` is the CI-light variant (fewer repeats, same
 checks).  Both exit non-zero if the legs' cycle counts differ or the
 tape path is slower than the generator path.
 
+``--proto`` times the microbenchmark with the table-driven protocol
+engine (``MachineConfig.proto_engine``) off and on — interleaved legs,
+cycle-identity asserted — plus an informational ``dls`` protocol leg,
+and writes ``BENCH_proto.json``.  It exits non-zero if table dispatch
+regresses the tape-on runtime by more than 10% or any cycle count
+diverges from the generator oracle.
+
 Run:  PYTHONPATH=src python scripts/bench_snapshot.py [--jobs 4]
       PYTHONPATH=src python scripts/bench_snapshot.py --obs
       PYTHONPATH=src python scripts/bench_snapshot.py --hotpath
       PYTHONPATH=src python scripts/bench_snapshot.py --micro
+      PYTHONPATH=src python scripts/bench_snapshot.py --proto
 """
 
 import argparse
@@ -246,6 +254,80 @@ def hotpath_snapshot(repeats: int, output: str) -> None:
             f"({off_best:.3f}s)")
 
 
+def proto_snapshot(repeats: int, output: str) -> None:
+    """Time the engine micro with the protocol-table dispatch off and on;
+    write ``BENCH_proto.json``.  Exits non-zero when the table engine
+    diverges from the hand-written dir-inv generators or regresses the
+    tape-on runtime by more than 10% (the dispatch layer is bookkeeping,
+    not a second simulator).  Also times one informational ``dls`` leg."""
+    times = {"off": [], "on": []}
+    cycles = {}
+    for i in range(repeats):
+        for leg, flag in (("off", False), ("on", True)):
+            print(f"[{i + 1}/{repeats}] proto engine {leg} ...", flush=True)
+            started = time.perf_counter()
+            result = run_mode(make(MICRO_WORKLOAD),
+                              scaled_config(MICRO_CMPS, proto_engine=flag),
+                              MICRO_MODE)
+            times[leg].append(time.perf_counter() - started)
+            cycles[leg] = result.exec_cycles
+    if cycles["off"] != cycles["on"]:
+        raise SystemExit(
+            f"protocol table engine diverged from the generator oracle: "
+            f"exec_cycles {cycles['on']} (on) != {cycles['off']} (off)")
+
+    dls_times = []
+    dls_cycles = None
+    for i in range(repeats):
+        print(f"[{i + 1}/{repeats}] protocol dls ...", flush=True)
+        started = time.perf_counter()
+        result = run_mode(make(MICRO_WORKLOAD),
+                          scaled_config(MICRO_CMPS, protocol="dls"),
+                          MICRO_MODE)
+        dls_times.append(time.perf_counter() - started)
+        dls_cycles = result.exec_cycles
+
+    off_best = min(times["off"])
+    on_best = min(times["on"])
+    snapshot = {
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "repeats": repeats,
+        "engine_micro": {
+            "label": f"{MICRO_WORKLOAD}@{MICRO_CMPS}/{MICRO_MODE}",
+            "exec_cycles": cycles["on"],
+            "proto_off": _stats(times["off"]),
+            "proto_on": _stats(times["on"]),
+            "overhead_vs_proto_off": round(on_best / off_best - 1.0, 3),
+        },
+        "dls_micro": {
+            "label": f"{MICRO_WORKLOAD}@{MICRO_CMPS}/{MICRO_MODE}/dls",
+            "exec_cycles": dls_cycles,
+            **_stats(dls_times),
+        },
+    }
+    baseline = Path("BENCH_runner.json")
+    if baseline.exists():
+        reference = json.loads(baseline.read_text()).get("engine_micro")
+        if reference:
+            snapshot["runner_baseline_seconds"] = reference["best_seconds"]
+            snapshot["proto_on_vs_baseline"] = round(
+                on_best / reference["best_seconds"] - 1.0, 3)
+
+    Path(output).write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(f"wrote {output}:")
+    print(f"  proto off  {off_best:8.3f}s")
+    print(f"  proto on   {on_best:8.3f}s "
+          f"(+{snapshot['engine_micro']['overhead_vs_proto_off']:.1%})")
+    print(f"  dls        {min(dls_times):8.3f}s "
+          f"({dls_cycles} cycles)")
+    if on_best > off_best * 1.10:
+        raise SystemExit(
+            f"protocol-table dispatch regressed the micro by more than "
+            f"10%: {on_best:.3f}s (on) vs {off_best:.3f}s (off)")
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--jobs", type=int, default=4,
@@ -262,6 +344,11 @@ def main() -> None:
     parser.add_argument("--micro", action="store_true",
                         help="CI-light --hotpath smoke: 2 interleaved "
                              "repeats per leg, same identity/perf checks")
+    parser.add_argument("--proto", action="store_true",
+                        help="time the engine micro with the protocol-"
+                             "table dispatch off/on plus a dls leg "
+                             "(writes BENCH_proto.json); fails on cycle "
+                             "divergence or >10% dispatch overhead")
     parser.add_argument("--repeats", type=int, default=3,
                         help="best-of-N repeats for the microbenchmarks")
     args = parser.parse_args()
@@ -272,6 +359,9 @@ def main() -> None:
     if args.hotpath or args.micro:
         repeats = 2 if args.micro else max(args.repeats, 3)
         hotpath_snapshot(repeats, args.output or "BENCH_hotpath.json")
+        return
+    if args.proto:
+        proto_snapshot(args.repeats, args.output or "BENCH_proto.json")
         return
     args.output = args.output or "BENCH_runner.json"
 

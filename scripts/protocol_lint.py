@@ -1,0 +1,37 @@
+#!/usr/bin/env python
+"""Static protocol lint — CI gate for every registered coherence table.
+
+Checks each table in ``repro.memory.proto.TABLES`` for exhaustiveness,
+dead rows, unreachable states, action legality, reply data sources,
+datagram discipline, next-state accounting, and transient stall cycles
+(see :mod:`repro.memory.proto.lint` for the full rule set).  Exits
+non-zero if any table has findings, printing one line per finding.
+
+Run:  PYTHONPATH=src python scripts/protocol_lint.py
+"""
+
+import sys
+from pathlib import Path
+
+try:
+    from repro.memory.proto.lint import lint_all
+except ImportError:  # local checkout without an installed package
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.memory.proto.lint import lint_all
+
+
+def main() -> int:
+    failed = False
+    for name, errors in sorted(lint_all().items()):
+        if errors:
+            failed = True
+            print(f"{name}: {len(errors)} finding(s)")
+            for error in errors:
+                print(f"  {error}")
+        else:
+            print(f"{name}: clean")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

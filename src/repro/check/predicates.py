@@ -22,15 +22,24 @@ from repro.slipstream.arsync import ARSyncPolicy
 # Directory entry structure
 # ----------------------------------------------------------------------
 def directory_entry_errors(entry: DirectoryEntry,
-                           n_nodes: Optional[int] = None) -> List[str]:
+                           n_nodes: Optional[int] = None,
+                           allowed_states: Optional[tuple] = None
+                           ) -> List[str]:
     """Structural invariants of a single directory entry.
 
     * EXCLUSIVE: exactly one owner, no sharers.
     * SHARED: no owner, at least one sharer.
     * UNCACHED: no owner, no sharers.
     * All recorded node ids lie inside the machine (when ``n_nodes`` given).
+    * The state is one the running protocol uses (when ``allowed_states``
+      given — e.g. a SHARED entry under the directoryless ``dls`` is a
+      bug: its home never tracks sharers).
     """
     errors: List[str] = []
+    if allowed_states is not None and entry.state not in allowed_states:
+        errors.append(
+            f"state {entry.state!r} outside the protocol's entry states "
+            f"{tuple(allowed_states)}")
     if entry.state == EXCLUSIVE:
         if entry.owner is None:
             errors.append("EXCLUSIVE entry has no owner")

@@ -84,6 +84,7 @@ class CheckerSuite:
         from repro.sim import NULL_TRACER
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.fabric = None
+        self.caps = None
         self.controllers: Dict[int, object] = {}
         self.n_nodes = 0
         #: per-check fire counts, for "did the checkers actually run" tests
@@ -112,6 +113,9 @@ class CheckerSuite:
     def attach_fabric(self, fabric) -> None:
         self.fabric = fabric
         self.n_nodes = fabric.config.n_cmps
+        #: protocol capabilities: predicates that reason about state the
+        #: protocol does not track (sharer vectors, S entries) are gated
+        self.caps = getattr(fabric, "caps", None)
 
     def register_controller(self, node_id: int, ctrl) -> None:
         self.controllers[node_id] = ctrl
@@ -140,7 +144,10 @@ class CheckerSuite:
     def _check_entry(self, line: int, entry: DirectoryEntry,
                      node: Optional[int] = None) -> None:
         self.checks["directory"] += 1
-        errors = predicates.directory_entry_errors(entry, self.n_nodes)
+        caps = self.caps
+        errors = predicates.directory_entry_errors(
+            entry, self.n_nodes,
+            allowed_states=None if caps is None else caps.entry_states)
         if errors:
             self._fail("directory", "; ".join(errors), node=node, line=line)
 
@@ -197,6 +204,11 @@ class CheckerSuite:
                     f"owner={entry.owner if entry else None}",
                     node=node, line=line)
         elif not cached.transparent:
+            # Only meaningful when the home tracks sharers: protocols
+            # without a sharer vector (dls) deliberately hold untracked
+            # clean copies until the next sync-point self-invalidation.
+            if self.caps is not None and not self.caps.sharer_vector:
+                return
             if entry is None or not entry.is_cached_by(node):
                 self._fail("agreement",
                            "L2 holds a valid non-transparent line the "

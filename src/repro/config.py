@@ -18,6 +18,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+#: coherence protocols a machine can run (``MachineConfig.protocol``).
+#: A literal tuple rather than the repro.memory.proto registry keys:
+#: this module is imported by repro.memory, so it cannot import the
+#: registry back — a test pins the two in sync.
+PROTOCOLS = ("dir-inv", "dls")
+
 
 @dataclass
 class MachineConfig:
@@ -160,6 +166,18 @@ class MachineConfig:
     #: being a config field, it participates in the result-cache key so
     #: metric-bearing results never alias metric-free ones.
     metrics: bool = False
+    #: coherence protocol the machine runs, by name from the
+    #: repro.memory.proto registry: "dir-inv" (the paper's invalidate
+    #: directory + slipstream extensions, the baseline) or "dls" (a
+    #: directoryless shared-LLC variant with sync-point
+    #: self-invalidation).  Participates in the result-cache key.
+    protocol: str = "dir-inv"
+    #: dispatch coherence events through the declarative protocol table
+    #: (repro.memory.proto).  Cycle-identical to the hand-written
+    #: generators by construction; False keeps the original generator
+    #: dispatch as the differential-testing oracle — legal only under
+    #: "dir-inv", the one protocol the legacy code implements.
+    proto_engine: bool = True
 
     def __post_init__(self) -> None:
         if self.n_cmps < 1:
@@ -191,6 +209,14 @@ class MachineConfig:
                      "fault_net_jitter_max"):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be >= 0")
+        if self.protocol not in PROTOCOLS:
+            raise ValueError(
+                f"unknown protocol {self.protocol!r}; known: "
+                f"{', '.join(PROTOCOLS)}")
+        if not self.proto_engine and self.protocol != "dir-inv":
+            raise ValueError(
+                "proto_engine=False keeps the legacy generator dispatch, "
+                "which implements dir-inv only")
 
     def with_overrides(self, **kwargs) -> "MachineConfig":
         """Return a copy with the given fields replaced."""

@@ -23,6 +23,7 @@ import argparse
 import json
 import sys
 
+from repro.config import PROTOCOLS
 from repro.experiments import figures
 from repro.experiments.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.experiments.runner import Runner
@@ -132,6 +133,10 @@ def main(argv=None) -> int:
                         help="write a Chrome/Perfetto trace (load at "
                              "https://ui.perfetto.dev) of the final "
                              "slipstream leg; fuzz experiment only")
+    parser.add_argument("--protocol", default="dir-inv", choices=PROTOCOLS,
+                        help="coherence protocol for every simulation "
+                             "(default: dir-inv, the paper's directory "
+                             "protocol; participates in cache keys)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the on-disk result cache")
     parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
@@ -168,6 +173,11 @@ def main(argv=None) -> int:
         overrides["check"] = True
     if args.metrics:
         overrides["metrics"] = True
+    if args.protocol != "dir-inv":
+        # Only non-default protocols become an override: the default must
+        # not perturb RunSpec.config_overrides (hence cache keys and the
+        # EXPERIMENTS.md stdout) for runs that never asked for a protocol.
+        overrides["protocol"] = args.protocol
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     supervisor = None
     if args.supervised:
@@ -215,7 +225,7 @@ def _run_fuzz(args) -> int:
     rows = {}
     for index, (mode, policy) in enumerate(runs):
         config = scaled_config(n_cmps, check=True, metrics=args.metrics,
-                               **fault_overrides)
+                               protocol=args.protocol, **fault_overrides)
         kwargs = {}
         label = mode
         if policy is not None:

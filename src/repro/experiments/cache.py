@@ -36,7 +36,8 @@ from repro.experiments.driver import RunResult
 from repro.workloads.tape import TAPE_FORMAT_VERSION
 
 #: bump when the serialized RunResult layout (or key payload) changes
-CACHE_FORMAT_VERSION = 5  # v5: op-tape execution (MachineConfig.compile_tape)
+CACHE_FORMAT_VERSION = 6  # v6: protocol engine (MachineConfig.protocol +
+#                           proto_engine; RunResult.protocol is mandatory)
 
 #: default cache location (overridable via the environment or --cache-dir)
 DEFAULT_CACHE_DIR = os.environ.get("REPRO_CACHE_DIR", ".repro-cache")

@@ -22,7 +22,7 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.config import MachineConfig
+from repro.config import PROTOCOLS, MachineConfig
 from repro.machine.system import System
 from repro.obs.collect import (cache_totals_from, fabric_stats_from,
                                run_registry)
@@ -55,6 +55,8 @@ class RunResult:
     policy: Optional[str] = None
     transparent: bool = False
     si: bool = False
+    #: coherence protocol the machine ran (MachineConfig.protocol)
+    protocol: str = "dir-inv"
     #: per full-task (R-stream or conventional) time breakdowns
     task_breakdowns: List[TimeBreakdown] = field(default_factory=list)
     #: per A-stream time breakdowns (slipstream mode only)
@@ -158,6 +160,14 @@ class RunResult:
             # Malformed cache entry; the result cache quarantines on this.
             raise TypeError(
                 f"metrics must be a mapping, got {type(metrics_blob).__name__}")
+        protocol = data.get("protocol")
+        if protocol not in PROTOCOLS:
+            # Entries written before the protocol field existed (or with a
+            # protocol this build does not know) cannot be interpreted
+            # safely; the result cache quarantines on this.
+            raise ValueError(
+                f"unknown or missing protocol {protocol!r} in serialized "
+                f"result; known: {', '.join(PROTOCOLS)}")
         return cls(**fields_in)
 
 
@@ -325,7 +335,8 @@ def run_mode(workload, config: MachineConfig, mode: str,
                        exec_cycles=exec_cycles,
                        policy=policy.name if slip else None,
                        transparent=transparent if slip else False,
-                       si=si if slip else False)
+                       si=si if slip else False,
+                       protocol=config.protocol)
     if slip:
         result.task_breakdowns = [e.processor.breakdown for e in executors
                                   if isinstance(e, RStreamExecutor)]

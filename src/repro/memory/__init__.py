@@ -18,6 +18,9 @@ is the most detailed part of the model:
 * :mod:`repro.memory.l2ctrl` — the node-side shared-L2 controller: hit/miss
   paths, MSHR merging of the two on-chip processors' requests, evictions,
   exclusive prefetch, and the self-invalidation drain.
+* :mod:`repro.memory.proto` — the protocols themselves as declarative
+  transition tables (``dir-inv``, ``dls``), the generic interpreter the
+  fabric dispatches through, and the static protocol lint.
 """
 
 from repro.memory.address import AddressSpace, SharedAllocator, SharedArray
@@ -25,6 +28,7 @@ from repro.memory.cache import Cache, CacheLine
 from repro.memory.directory import DirectoryEntry, DirectoryState
 from repro.memory.l2ctrl import L2Controller
 from repro.memory.network import Network
+from repro.memory.proto import ProtocolEngine, ProtocolTable
 from repro.memory.protocol import CoherenceFabric
 
 __all__ = [
@@ -36,6 +40,8 @@ __all__ = [
     "DirectoryState",
     "L2Controller",
     "Network",
+    "ProtocolEngine",
+    "ProtocolTable",
     "SharedAllocator",
     "SharedArray",
 ]

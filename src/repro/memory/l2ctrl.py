@@ -63,6 +63,10 @@ class L2Controller:
         self.config = config
         self.node_id = node_id
         self.fabric = fabric
+        #: capabilities of the protocol the fabric runs: gate upgrade
+        #: generation, replacement hints, and sync-point self-invalidation
+        self.caps = fabric.caps
+        self.sync_si = self.caps.sync_self_invalidate
         self.classifier = classifier
         self.l2 = Cache(config.l2_size, config.l2_assoc, config.line_size,
                         name=f"l2[{node_id}]", on_evict=self._on_l2_evict,
@@ -119,6 +123,9 @@ class L2Controller:
         #: guaranteed delivery (see CoherenceFabric._request_hop)
         self.net_retries = 0
         self.watchdog_trips = 0
+        #: lines flash-invalidated at synchronization points (protocols
+        #: with caps.sync_self_invalidate, e.g. "dls")
+        self.sync_invalidations = 0
 
     # ------------------------------------------------------------------
     # Classification helpers (exactly-once per fill, via line flags)
@@ -293,7 +300,10 @@ class L2Controller:
                                and l2_line.state == SHARED
                                and not l2_line.transparent
                                and self.l2.probe(line_addr) is l2_line)
-            kind = UPGRADE if has_shared_copy else EXCL
+            # Protocols without a sharer vector cannot ack an upgrade
+            # (the home can't tell a sharer from a stranger): full GETX.
+            kind = (UPGRADE if has_shared_copy and self.caps.upgrades
+                    else EXCL)
             entry = self._fetch_begin(line_addr, kind, role)
             completed = False
             start = self.engine.now
@@ -353,7 +363,8 @@ class L2Controller:
                 self.classifier.on_a_fetch_issued("excl")
             kind = UPGRADE if (line is not None
                                and line.state == SHARED
-                               and not line.transparent) else EXCL
+                               and not line.transparent
+                               and self.caps.upgrades) else EXCL
             result, late = yield from self._fetch(line_addr, kind, "A",
                                                   classify=False)
             self._fill(line_addr, result, "A", fetch_kind="excl",
@@ -531,6 +542,29 @@ class L2Controller:
             self.checker.on_si_apply(self.node_id, line_addr, True)
 
     # ------------------------------------------------------------------
+    # Sync-point self-invalidation (directoryless protocols)
+    # ------------------------------------------------------------------
+    def sync_self_invalidate(self) -> None:
+        """Bulk-invalidate every clean line at a synchronization point.
+
+        Protocols with ``caps.sync_self_invalidate`` (no sharer tracking
+        at the home) recover coherence for shared data here: when a task
+        on this node reaches a barrier / lock acquire / event wait, all
+        potentially-stale clean copies are dropped, so post-sync reads
+        re-fetch current data.  Safe for the data-race-free programs the
+        workloads model.  Dirty (M) lines stay — the home tracks their
+        owner and interventions keep them coherent.  Flash invalidation:
+        tag-array work charged at zero simulated cycles, matching the
+        one-cycle gang-clear valid-bit arrays such schemes assume.
+        """
+        stale = [line.line_addr for line in self.l2.resident_lines()
+                 if line.state != MODIFIED
+                 and line.line_addr not in self._pending]
+        for line_addr in stale:
+            self.apply_invalidate(line_addr)
+        self.sync_invalidations += len(stale)
+
+    # ------------------------------------------------------------------
     # Eviction
     # ------------------------------------------------------------------
     def _on_l2_evict(self, victim: CacheLine) -> None:
@@ -541,9 +575,10 @@ class L2Controller:
         self._note_line_lost(victim)
         if victim.state == MODIFIED:
             self.fabric.writeback(self.node_id, line_addr)
-        else:
+        elif self.caps.replacement_hints:
             self.fabric.replacement_hint(self.node_id, line_addr,
                                          victim.transparent)
+        # else: silent clean eviction — the home never tracked the copy
 
     # ------------------------------------------------------------------
     # Self-invalidation drain (Section 4.2/4.3)

@@ -1,0 +1,103 @@
+"""``dls``: a directoryless shared-LLC protocol (after Liu et al.).
+
+The home keeps only an exclusive-owner pointer — no sharer vector, no
+future-sharer lists, no invalidation fan-outs, no self-invalidation
+hints, no replacement hints.  Reads are served from memory (or by a
+downgrade intervention when a dirty copy exists, after which the home
+*forgets* the line — it cannot track clean copies), and coherence for
+shared data is recovered at synchronization points: each node bulk
+self-invalidates its clean shared lines when it reaches a barrier, an
+event wait, or a lock acquire (``Capabilities.sync_self_invalidate``,
+applied by the L2 controller).  That is safe for the data-race-free
+programs the workloads model: a consumer can only rely on a producer's
+writes after synchronizing with it, at which point its stale shared
+copies are gone.
+
+Consequences encoded in the capabilities:
+
+* stores always issue GETX (no UPG — the home cannot tell a sharer from
+  a stranger, so an upgrade ack would be unsound),
+* transparent loads degrade gracefully: a dirty line still gets a stale
+  memory reply without disturbing the owner, but no hint is sent
+  (``si_hints=False``), so slipstream's self-invalidation machinery
+  stays idle under ``dls``,
+* clean evictions are silent (nothing to deregister).
+"""
+
+from __future__ import annotations
+
+from repro.memory.cache import MODIFIED, SHARED as L_SHARED
+from repro.memory.directory import EXCLUSIVE, UNCACHED
+from repro.memory.proto.table import (Capabilities, Event, ProtocolTable,
+                                      Reply, Row)
+
+_S = Reply(L_SHARED)
+_S_OWNER = Reply(L_SHARED, data_from="owner")
+_M = Reply(MODIFIED)
+_M_OWNER = Reply(MODIFIED, data_from="owner")
+_M_CONFIRM = Reply(MODIFIED, data_from="requester")
+_S_TRANSPARENT = Reply(L_SHARED, transparent=True)
+_S_UPGRADED = Reply(L_SHARED, upgraded=True)
+
+TABLE = ProtocolTable(
+    name="dls",
+    description=("directoryless shared-LLC: owner pointer only, "
+                 "sync-point self-invalidation instead of tracked "
+                 "sharers (after Liu et al.)"),
+    states=(UNCACHED, EXCLUSIVE),
+    events=(Event.GETS, Event.GETX, Event.GETT, Event.WB),
+    transients=("BusyInt", "BusyMem"),
+    initial=UNCACHED,
+    caps=Capabilities(
+        sharer_vector=False,
+        future_sharers=False,
+        si_hints=False,
+        upgrades=False,
+        replacement_hints=False,
+        migratory=False,
+        sync_self_invalidate=True,
+        entry_states=(UNCACHED, EXCLUSIVE),
+    ),
+    rows=(
+        # ----------------------------------------------------- GETS ----
+        # Dirty copy elsewhere: downgrade intervention pulls it home,
+        # then the home forgets the line (clean copies are untracked).
+        Row(EXCLUSIVE, Event.GETS, guard="owner_other",
+            actions=("intervene_downgrade",), commits=("forget",),
+            via=("BusyInt",), next_state=(UNCACHED,), reply=_S_OWNER),
+        # Raced with our own writeback; serve from memory, untracked.
+        Row(EXCLUSIVE, Event.GETS,
+            actions=("clear_entry", "mem_read"), via=("BusyMem",),
+            next_state=(UNCACHED,), reply=_S),
+        Row(UNCACHED, Event.GETS, actions=("mem_read",),
+            via=("BusyMem",), next_state=(UNCACHED,), reply=_S),
+        # ----------------------------------------------------- GETX ----
+        Row(EXCLUSIVE, Event.GETX, guard="owner_self",
+            next_state=(EXCLUSIVE,), reply=_M_CONFIRM),
+        Row(EXCLUSIVE, Event.GETX, actions=("intervene_inval",),
+            commits=("set_exclusive",), via=("BusyInt",),
+            next_state=(EXCLUSIVE,), reply=_M_OWNER),
+        # Untracked clean copies may exist elsewhere; they go stale and
+        # die at their holders' next synchronization point.
+        Row(UNCACHED, Event.GETX, actions=("mem_read",),
+            commits=("set_exclusive",), via=("BusyMem",),
+            next_state=(EXCLUSIVE,), reply=_M),
+        # ----------------------------------------------------- GETT ----
+        # Stale memory reply, owner undisturbed; no hint machinery.
+        Row(EXCLUSIVE, Event.GETT, guard="owner_other",
+            actions=("stale_reply",), via=("BusyMem",),
+            next_state=(EXCLUSIVE,), reply=_S_TRANSPARENT),
+        Row(EXCLUSIVE, Event.GETT,
+            actions=("count_upgraded", "clear_entry", "mem_read"),
+            via=("BusyMem",), next_state=(UNCACHED,), reply=_S_UPGRADED),
+        Row(UNCACHED, Event.GETT,
+            actions=("count_upgraded", "mem_read"), via=("BusyMem",),
+            next_state=(UNCACHED,), reply=_S_UPGRADED),
+        # ------------------------------------------------------- WB ----
+        Row(EXCLUSIVE, Event.WB, guard="owner_self", commits=("clear",),
+            next_state=(UNCACHED,)),
+        Row(EXCLUSIVE, Event.WB, commits=("noop",),
+            next_state=(EXCLUSIVE,)),
+        Row(UNCACHED, Event.WB, commits=("noop",), next_state=(UNCACHED,)),
+    ),
+)

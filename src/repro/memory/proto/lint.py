@@ -1,0 +1,348 @@
+"""Static lint for protocol tables.
+
+Runs offline (CI: ``scripts/protocol_lint.py``) over every registered
+:class:`~repro.memory.proto.table.ProtocolTable` and proves, before a
+table is ever simulated:
+
+* **exhaustiveness** — every ``(state, event)`` pair the table declares
+  is covered, and its last row is unguarded (a reachable hole would
+  raise :class:`~repro.memory.proto.engine.ProtocolHole` at run time);
+* **reachability** — no dead rows (a row behind an unguarded row can
+  never be selected) and no stable state unreachable from the initial
+  state over the declared ``next_state`` edges;
+* **action legality** — actions only appear where their static
+  requirements hold: owner interventions only in owner states, sharer
+  fan-outs only where a sharer vector exists *and* the table's
+  capabilities include one, no data reply without a data source
+  (a memory read, an owner intervention, or a confirmed own copy), no
+  self-invalidation replies from a table without hints;
+* **timing discipline** — demand rows reply and may suspend through
+  declared transients; datagram rows (writebacks, hints) never act,
+  never reply, never suspend;
+* **state accounting** — each row's declared ``next_state`` matches the
+  state its actions and commits actually settle the entry in;
+* **stall freedom** — a transaction suspended in a transient always
+  reaches a stable state: ``next_state`` never names a transient and the
+  ``state -> via -> next_state`` graph has no cycle through a transient.
+
+Capability/event consistency is also enforced (e.g. a table without
+``upgrades`` must not define UPG rows — its requesters never send one),
+so the tables and the request-generation gates in the L2 controller
+cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.memory.directory import EXCLUSIVE, SHARED
+from repro.memory.proto.table import (ACTIONS, COMMITS, DATAGRAM_EVENTS,
+                                      DEMAND_EVENTS, GUARDS, Event,
+                                      ProtocolTable, Row)
+
+#: capability flag -> event that exists exactly when the flag is set
+_CAP_EVENTS = (
+    ("upgrades", Event.UPG),
+    ("replacement_hints", Event.REPL),
+    ("si_hints", Event.WB_DG),
+)
+
+
+@dataclass(frozen=True)
+class LintError:
+    """One finding: ``table`` / ``code`` / human-readable ``message``."""
+
+    table: str
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.table}] {self.code}: {self.message}"
+
+
+def _row_name(row: Row) -> str:
+    guard = f" [{row.guard}]" if row.guard else ""
+    return f"({row.state}, {row.event.value}){guard}"
+
+
+class _Linter:
+    def __init__(self, table: ProtocolTable):
+        self.table = table
+        self.errors: List[LintError] = []
+
+    def err(self, code: str, message: str) -> None:
+        self.errors.append(LintError(self.table.name, code, message))
+
+    # -- structural ----------------------------------------------------
+    def check_structure(self) -> None:
+        t = self.table
+        if t.initial not in t.states:
+            self.err("bad-initial",
+                     f"initial state {t.initial!r} not in states")
+        overlap = set(t.states) & set(t.transients)
+        if overlap:
+            self.err("state-transient-overlap",
+                     f"states double as transients: {sorted(overlap)}")
+        for state in t.states:
+            if state not in t.caps.entry_states:
+                self.err("state-outside-caps",
+                         f"state {state!r} not in caps.entry_states")
+        for state in t.caps.entry_states:
+            if state not in t.states:
+                self.err("caps-state-unused",
+                         f"caps.entry_states names {state!r} but the "
+                         f"table has no such state")
+        for cap, event in _CAP_EVENTS:
+            has_cap = getattr(t.caps, cap)
+            has_event = event in t.events
+            if has_cap and not has_event:
+                self.err("cap-event-missing",
+                         f"caps.{cap} is set but event {event.value} is "
+                         f"not in the table")
+            if has_event and not has_cap:
+                self.err("event-without-cap",
+                         f"event {event.value} is in the table but "
+                         f"caps.{cap} is unset — requesters never send it")
+        for row in t.rows:
+            name = _row_name(row)
+            if row.state not in t.states:
+                self.err("unknown-state",
+                         f"{name}: source state not declared")
+            if row.event not in t.events:
+                self.err("unknown-event",
+                         f"{name}: event not declared by the table")
+            for action in row.actions:
+                if action not in ACTIONS:
+                    self.err("unknown-action", f"{name}: action {action!r}")
+            for commit in row.commits:
+                if commit not in COMMITS:
+                    self.err("unknown-commit", f"{name}: commit {commit!r}")
+            if row.guard is not None and row.guard not in GUARDS:
+                self.err("unknown-guard", f"{name}: guard {row.guard!r}")
+            for via in row.via:
+                if via not in t.transients:
+                    self.err("unknown-transient",
+                             f"{name}: via {via!r} not declared")
+            for nxt in row.next_state:
+                if nxt in t.transients:
+                    self.err("stall-state",
+                             f"{name}: next_state {nxt!r} is a transient "
+                             f"— the entry would never restabilize")
+                elif nxt not in t.states:
+                    self.err("unknown-next-state",
+                             f"{name}: next_state {nxt!r} not declared")
+
+    # -- exhaustiveness + dead rows ------------------------------------
+    def check_coverage(self) -> None:
+        t = self.table
+        for state in t.states:
+            for event in t.events:
+                rows = t.rows_for(state, event)
+                if not rows:
+                    self.err("hole",
+                             f"no row for ({state}, {event.value})")
+                    continue
+                if rows[-1].guard is not None:
+                    self.err("guarded-hole",
+                             f"({state}, {event.value}): last row is "
+                             f"guarded [{rows[-1].guard}] — a request "
+                             f"rejected by every guard has nowhere to go")
+                default_seen = False
+                for row in rows:
+                    if default_seen:
+                        self.err("dead-row",
+                                 f"{_row_name(row)}: unreachable — an "
+                                 f"earlier unguarded row always matches")
+                    if row.guard is None:
+                        default_seen = True
+
+    # -- per-row legality ----------------------------------------------
+    def check_rows(self) -> None:
+        t = self.table
+        caps = t.caps
+        for row in t.rows:
+            name = _row_name(row)
+            demand = row.event in DEMAND_EVENTS
+            if row.guard is not None:
+                want = GUARDS.get(row.guard)
+                if want is not None and row.state != want:
+                    self.err("guard-misplaced",
+                             f"{name}: guard {row.guard!r} is only "
+                             f"meaningful in state {want!r}")
+            timed = False
+            sources: Set[str] = set()
+            for action in row.actions:
+                spec = ACTIONS.get(action)
+                if spec is None:
+                    continue  # reported by check_structure
+                timed = timed or spec.timed
+                if spec.data_source:
+                    sources.add(spec.data_source)
+                if spec.needs_owner and row.state != EXCLUSIVE:
+                    self.err("action-needs-owner",
+                             f"{name}: {action} requires an exclusive "
+                             f"owner (state E)")
+                if spec.needs_sharers and row.state != SHARED:
+                    self.err("action-needs-sharers",
+                             f"{name}: {action} requires a sharer vector "
+                             f"(state S)")
+                if spec.requires_cap and not getattr(caps,
+                                                     spec.requires_cap):
+                    self.err("action-needs-cap",
+                             f"{name}: {action} requires caps."
+                             f"{spec.requires_cap}")
+            if demand:
+                if row.reply is None:
+                    self.err("demand-no-reply",
+                             f"{name}: demand event with no reply — the "
+                             f"requester would wait forever")
+                else:
+                    self._check_reply(row, sources)
+                if timed and not row.via:
+                    self.err("undeclared-transient",
+                             f"{name}: suspends (timed actions) without "
+                             f"declaring a transient")
+                if row.via and not timed:
+                    self.err("phantom-transient",
+                             f"{name}: declares transients but never "
+                             f"suspends")
+            else:
+                if row.actions:
+                    self.err("datagram-acts",
+                             f"{name}: datagram events carry commits "
+                             f"only; actions would suspend a one-way "
+                             f"message")
+                if row.reply is not None:
+                    self.err("datagram-reply",
+                             f"{name}: datagram events have no requester "
+                             f"waiting for a reply")
+                if row.via:
+                    self.err("datagram-transient",
+                             f"{name}: datagram events never suspend")
+            self._check_next_state(row)
+
+    def _check_reply(self, row: Row, sources: Set[str]) -> None:
+        name = _row_name(row)
+        reply = row.reply
+        if reply.si and not self.table.caps.si_hints:
+            self.err("reply-si-without-cap",
+                     f"{name}: si reply from a table without si_hints")
+        if reply.data_from == "requester":
+            if row.guard != "owner_self":
+                self.err("confirm-without-ownership",
+                         f"{name}: reply reuses the requester's copy but "
+                         f"nothing proves the requester owns the line")
+        elif reply.data_from not in sources:
+            self.err("data-without-source",
+                     f"{name}: reply sources data from "
+                     f"{reply.data_from!r} but no action fetches it "
+                     f"(no memory read / owner intervention)")
+
+    def _check_next_state(self, row: Row) -> None:
+        name = _row_name(row)
+        if not row.next_state:
+            self.err("no-next-state",
+                     f"{name}: declare the stable state(s) the entry "
+                     f"settles in")
+            return
+        derived: Optional[str] = row.state
+        varies = False
+        for action in row.actions:
+            spec = ACTIONS.get(action)
+            if spec is not None and spec.entry_effect is not None:
+                derived = spec.entry_effect
+        for commit in row.commits:
+            effect = COMMITS.get(commit)
+            if effect is None or effect == "keep":
+                continue
+            if effect == "varies":
+                varies = True
+            else:
+                derived = effect
+        if varies:
+            return  # data-dependent; declared set already checked above
+        if row.next_state != (derived,):
+            self.err("next-state-mismatch",
+                     f"{name}: declares next_state {row.next_state} but "
+                     f"the actions/commits settle the entry in "
+                     f"{derived!r}")
+
+    # -- reachability + stall cycles -----------------------------------
+    def check_reachability(self) -> None:
+        t = self.table
+        edges: Dict[str, Set[str]] = {s: set() for s in t.states}
+        for row in t.rows:
+            if row.state in edges:
+                edges[row.state].update(
+                    n for n in row.next_state if n in edges)
+        seen = {t.initial} if t.initial in edges else set()
+        frontier = list(seen)
+        while frontier:
+            nxt = edges.get(frontier.pop(), ())
+            for s in nxt:
+                if s not in seen:
+                    seen.add(s)
+                    frontier.append(s)
+        for state in t.states:
+            if state not in seen:
+                self.err("unreachable-state",
+                         f"state {state!r} unreachable from "
+                         f"{t.initial!r} over declared transitions")
+        used = {v for row in t.rows for v in row.via}
+        for transient in t.transients:
+            if transient not in used:
+                self.err("unused-transient",
+                         f"transient {transient!r} declared but no row "
+                         f"passes through it")
+
+    def check_stall_cycles(self) -> None:
+        # state -> via[0] -> ... -> via[-1] -> next_state edges; a cycle
+        # through a transient means a transaction that can suspend again
+        # before restabilizing — a protocol-level livelock.
+        t = self.table
+        graph: Dict[str, Set[str]] = {}
+        for row in t.rows:
+            chain = (row.state,) + row.via
+            for src, dst in zip(chain, chain[1:]):
+                graph.setdefault(src, set()).add(dst)
+            for nxt in row.next_state:
+                graph.setdefault(chain[-1], set()).add(nxt)
+        transients = set(t.transients)
+        colors: Dict[str, int] = {}
+
+        def visit(node: str, path: List[str]) -> None:
+            colors[node] = 1
+            for nxt in sorted(graph.get(node, ())):
+                if nxt not in transients:
+                    continue  # stable states terminate the transaction
+                if colors.get(nxt) == 1:
+                    cycle = path + [node, nxt]
+                    self.err("stall-cycle",
+                             "transient cycle: " + " -> ".join(cycle))
+                elif colors.get(nxt, 0) == 0:
+                    visit(nxt, path + [node])
+            colors[node] = 2
+
+        for start in sorted(graph):
+            if colors.get(start, 0) == 0:
+                visit(start, [])
+
+    def run(self) -> List[LintError]:
+        self.check_structure()
+        self.check_coverage()
+        self.check_rows()
+        self.check_reachability()
+        self.check_stall_cycles()
+        return self.errors
+
+
+def lint_table(table: ProtocolTable) -> List[LintError]:
+    """Lint one table; returns all findings (empty list = clean)."""
+    return _Linter(table).run()
+
+
+def lint_all() -> Dict[str, List[LintError]]:
+    """Lint every registered table; maps protocol name -> findings."""
+    from repro.memory.proto import TABLES
+    return {name: lint_table(table) for name, table in TABLES.items()}

@@ -37,6 +37,9 @@ from repro.memory.address import AddressSpace
 from repro.memory.directory import (EXCLUSIVE, SHARED, UNCACHED,
                                     DirectoryEntry, DirectoryState)
 from repro.memory.network import Network
+from repro.memory.proto import table_by_name
+from repro.memory.proto.engine import ProtocolEngine
+from repro.memory.proto.table import Capabilities, Event
 from repro.sim import Engine, Process, Resource
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -47,6 +50,10 @@ READ = "read"          # GETS
 EXCL = "excl"          # GETX (read-exclusive)
 UPGRADE = "upgrade"    # ownership upgrade, requester already shares
 TRANSPARENT = "transparent"  # A-stream transparent load
+
+#: request kind -> protocol-table event
+_KIND_EVENT = {READ: Event.GETS, EXCL: Event.GETX,
+               UPGRADE: Event.UPG, TRANSPARENT: Event.GETT}
 
 
 class FetchResult:
@@ -88,11 +95,6 @@ class CoherenceFabric:
         self.space = space
         from repro.sim import NULL_TRACER
         self.tracer = tracer if tracer is not None else NULL_TRACER
-        #: invariant-checker suite, if one was installed on the engine
-        #: before the machine was assembled (see repro.check)
-        self.checker = engine.checker
-        if self.checker is not None:
-            self.checker.attach_fabric(self)
         #: fault injector, if one was installed before machine assembly
         self.faults = engine.faults
         #: observability spine (repro.obs), if one was installed before
@@ -105,6 +107,24 @@ class CoherenceFabric:
         self._p_intervention = (None if obs is None
                                 else obs.probe("intervention"))
         self._p_si_hint = None if obs is None else obs.probe("si-hint")
+        #: name of the protocol this fabric runs (MachineConfig.protocol)
+        self.protocol_name = config.protocol
+        #: table interpreter (repro.memory.proto); None keeps the
+        #: hand-written dir-inv generators as a differential oracle
+        #: (config validation pins proto_engine=False to dir-inv)
+        if config.proto_engine:
+            self._proto: Optional[ProtocolEngine] = ProtocolEngine(
+                table_by_name(config.protocol), self)
+            self.caps = self._proto.caps
+        else:
+            self._proto = None
+            self.caps = Capabilities()
+        #: invariant-checker suite, if one was installed on the engine
+        #: before the machine was assembled (see repro.check); attached
+        #: after `caps` so the checker can gate its predicates on them
+        self.checker = engine.checker
+        if self.checker is not None:
+            self.checker.attach_fabric(self)
         self.directory = DirectoryState(engine)
         self.network = Network(
             engine, config.n_cmps, config.net_time,
@@ -195,7 +215,11 @@ class CoherenceFabric:
             if role == "R":
                 self.directory.reset_future_sharer(line, node)
             entry = self.directory.entry(line)
-            if kind == READ:
+            proto = self._proto
+            if proto is not None:
+                result = yield from proto.dispatch(
+                    node, home, line, entry, _KIND_EVENT[kind], role)
+            elif kind == READ:
                 result = yield from self._read_at_home(node, home, line,
                                                        entry)
             elif kind == TRANSPARENT:
@@ -435,7 +459,9 @@ class CoherenceFabric:
         entry is cleared and the writeback's occupancy is charged without
         blocking the evicting node."""
         entry = self.directory.entry(line)
-        if entry.state == EXCLUSIVE and entry.owner == node:
+        if self._proto is not None:
+            self._proto.apply(node, line, entry, Event.WB)
+        elif entry.state == EXCLUSIVE and entry.owner == node:
             entry.clear()
         self.writebacks += 1
         self._post_writeback_traffic(node, line)
@@ -446,7 +472,9 @@ class CoherenceFabric:
         """Self-invalidation of a producer-consumer line: data goes back to
         memory and the owner keeps a shared copy."""
         entry = self.directory.entry(line)
-        if entry.state == EXCLUSIVE and entry.owner == node:
+        if self._proto is not None:
+            self._proto.apply(node, line, entry, Event.WB_DG)
+        elif entry.state == EXCLUSIVE and entry.owner == node:
             entry.downgrade_owner_to_sharer()
         self.writebacks += 1
         self._post_writeback_traffic(node, line)
@@ -458,8 +486,12 @@ class CoherenceFabric:
         """Clean eviction: tell the home so the sharer vector and the
         future-sharer bit stay in sync (cheap control message)."""
         entry = self.directory.peek(line)
-        if entry is not None and not transparent:
-            entry.remove_sharer(node)
+        if entry is not None:
+            if self._proto is not None:
+                self._proto.apply(node, line, entry, Event.REPL,
+                                  transparent=transparent)
+            elif not transparent:
+                entry.remove_sharer(node)
         self.directory.reset_future_sharer(line, node)
         home = self.space.home_of_line(line)
         self.network.post_transfer(node, home, data=False)

@@ -226,11 +226,13 @@ class TaskExecutor:
         barrier = self.registry.barrier(operation.bid)
         yield from self.processor.timed_wait(barrier.arrive(), "barrier")
         self.session += 1
+        self._sync_point()
 
     def _on_lock_acquire(self, operation) -> Generator:
         lock = self.registry.lock(operation.lid)
         yield from self.processor.timed_wait(lock.acquire(self), "lock")
         self.cs_depth += 1
+        self._sync_point()
 
     def _on_lock_release(self, operation) -> Generator:
         if self.cs_depth <= 0:
@@ -246,6 +248,15 @@ class TaskExecutor:
         event = self.registry.event(operation.eid)
         yield from self.processor.timed_wait(event.wait(), "barrier")
         self.session += 1
+        self._sync_point()
+
+    def _sync_point(self) -> None:
+        """Acquire-side synchronization reached.  Protocols without
+        sharer tracking (caps.sync_self_invalidate) drop this node's
+        stale clean copies here; a no-op attribute test otherwise."""
+        ctrl = self.processor.ctrl
+        if ctrl.sync_si:
+            ctrl.sync_self_invalidate()
 
     def _on_event_set(self, operation) -> Generator:
         yield from self.processor.flush()

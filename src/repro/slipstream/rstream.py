@@ -49,6 +49,7 @@ class RStreamExecutor(TaskExecutor):
         if pair.si_enabled:
             self.processor.ctrl.start_si_drain()
         yield from self.processor.timed_wait(wait_gen, category)
+        self._sync_point()
         if pair.deviated():
             pair.request_recovery()
         pair.on_r_sync_exit()
