@@ -37,11 +37,25 @@ and writes ``BENCH_proto.json``.  It exits non-zero if table dispatch
 regresses the tape-on runtime by more than 10% or any cycle count
 diverges from the generator oracle.
 
+``--trace`` times the microbenchmark with request-scoped span tracing
+(``repro.obs.trace``) absent and with an ambient trace scope bound —
+the configuration a traced served request runs under — and writes
+``BENCH_trace.json``.  The spans-off leg is the zero-overhead
+contract: with no scope bound, the engine driver's instrumented sites
+cost one context-variable read each.
+
+Every snapshot's pass/fail thresholds live in
+:mod:`repro.obs.analyze` (``RULES``) — this script evaluates them via
+``analyze.enforce`` right after writing each file, and CI re-evaluates
+the committed files with ``python -m repro.obs bench BENCH_*.json``,
+so generation and gating share one rule set.
+
 Run:  PYTHONPATH=src python scripts/bench_snapshot.py [--jobs 4]
       PYTHONPATH=src python scripts/bench_snapshot.py --obs
       PYTHONPATH=src python scripts/bench_snapshot.py --hotpath
       PYTHONPATH=src python scripts/bench_snapshot.py --micro
       PYTHONPATH=src python scripts/bench_snapshot.py --proto
+      PYTHONPATH=src python scripts/bench_snapshot.py --trace
 """
 
 import argparse
@@ -57,6 +71,7 @@ from repro.experiments import figures
 from repro.experiments.cache import ResultCache
 from repro.experiments.driver import run_mode
 from repro.experiments.runner import Runner
+from repro.obs import analyze
 from repro.workloads import make
 
 #: the fixed subset every snapshot times (small enough for CI, big
@@ -248,10 +263,7 @@ def hotpath_snapshot(repeats: int, output: str) -> None:
         print(f"  vs committed baseline "
               f"{snapshot['baseline']['best_seconds']:.3f}s: "
               f"{snapshot['speedup']:.3f}x")
-    if on_best > off_best:
-        raise SystemExit(
-            f"tape-on micro ({on_best:.3f}s) is slower than tape-off "
-            f"({off_best:.3f}s)")
+    analyze.enforce(output, snapshot)
 
 
 def proto_snapshot(repeats: int, output: str) -> None:
@@ -322,10 +334,56 @@ def proto_snapshot(repeats: int, output: str) -> None:
           f"(+{snapshot['engine_micro']['overhead_vs_proto_off']:.1%})")
     print(f"  dls        {min(dls_times):8.3f}s "
           f"({dls_cycles} cycles)")
-    if on_best > off_best * 1.10:
-        raise SystemExit(
-            f"protocol-table dispatch regressed the micro by more than "
-            f"10%: {on_best:.3f}s (on) vs {off_best:.3f}s (off)")
+    analyze.enforce(output, snapshot)
+
+
+def trace_snapshot(repeats: int, output: str) -> None:
+    """Time the engine micro with span tracing absent vs with an ambient
+    trace scope bound (the traced-served-request configuration); write
+    ``BENCH_trace.json``.  The spans-off leg must stay within noise of
+    the committed runner baseline — with no scope bound, the driver's
+    span sites cost one ContextVar read each, nothing more."""
+    from repro.obs.trace import Tracer, trace_scope
+
+    legs = {}
+    print("[1/2] spans off (no ambient scope) ...", flush=True)
+    legs["spans_off"] = time_micro(repeats)
+    print("[2/2] spans on (traced scope bound) ...", flush=True)
+    tracer = Tracer(track="bench")
+    root = tracer.start_span("bench.micro")
+    with trace_scope(tracer, root):
+        legs["spans_on"] = time_micro(repeats)
+    root.end()
+
+    assert legs["spans_off"]["exec_cycles"] == \
+        legs["spans_on"]["exec_cycles"], \
+        "tracing must never change simulated timing"
+
+    off = legs["spans_off"]["best_seconds"]
+    on = legs["spans_on"]["best_seconds"]
+    snapshot = {
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "repeats": repeats,
+        "micro": legs,
+        "spans_captured": len(tracer),
+        "spans_on_overhead": round(on / off - 1.0, 3) if off else None,
+    }
+    baseline = Path("BENCH_runner.json")
+    if baseline.exists():
+        reference = json.loads(baseline.read_text()).get("engine_micro")
+        if reference:
+            snapshot["runner_baseline_seconds"] = reference["best_seconds"]
+            snapshot["spans_off_vs_baseline"] = round(
+                off / reference["best_seconds"] - 1.0, 3)
+    Path(output).write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(f"wrote {output}:")
+    print(f"  spans off  {off:8.3f}s")
+    print(f"  spans on   {on:8.3f}s  "
+          f"(+{snapshot['spans_on_overhead']:.1%}, "
+          f"{snapshot['spans_captured']} span(s) captured)")
+    analyze.enforce(output, snapshot)
 
 
 def main() -> None:
@@ -349,12 +407,21 @@ def main() -> None:
                              "table dispatch off/on plus a dls leg "
                              "(writes BENCH_proto.json); fails on cycle "
                              "divergence or >10% dispatch overhead")
+    parser.add_argument("--trace", action="store_true",
+                        help="time the engine micro with span tracing "
+                             "absent vs under an ambient trace scope "
+                             "(writes BENCH_trace.json); fails if the "
+                             "spans-off leg leaves the baseline noise "
+                             "band")
     parser.add_argument("--repeats", type=int, default=3,
                         help="best-of-N repeats for the microbenchmarks")
     args = parser.parse_args()
 
     if args.obs:
         obs_snapshot(args.repeats, args.output or "BENCH_obs.json")
+        return
+    if args.trace:
+        trace_snapshot(args.repeats, args.output or "BENCH_trace.json")
         return
     if args.hotpath or args.micro:
         repeats = 2 if args.micro else max(args.repeats, 3)
@@ -386,11 +453,7 @@ def main() -> None:
         snapshot["warm"] = time_fig1(jobs=args.jobs,
                                      cache_dir=tmp / "parallel")
 
-    assert snapshot["warm"]["simulated"] == 0, \
-        "warm cache should execute zero simulations"
-    assert snapshot["cold_serial"]["checksum"] == \
-        snapshot["cold_parallel"]["checksum"] == \
-        snapshot["warm"]["checksum"], "results must not depend on execution path"
+    analyze.enforce(args.output, snapshot)
 
     snapshot["parallel_speedup"] = round(
         snapshot["cold_serial"]["wall_seconds"]

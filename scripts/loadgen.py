@@ -190,6 +190,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="client-side per-request timeout (seconds)")
     parser.add_argument("--jobs", type=int, default=1,
                         help="--spawn only: Runner worker processes")
+    parser.add_argument("--supervised", action="store_true",
+                        help="--spawn only: execute waves through the "
+                             "supervised worker pool (per-job process "
+                             "isolation)")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="--spawn only: enable request tracing and "
+                             "write the merged Perfetto trace to PATH "
+                             "after the replay")
     parser.add_argument("--verify", action="store_true",
                         help="re-execute unique specs directly and compare "
                              "deterministic fields with the served results")
@@ -209,12 +217,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not args.spawn and not args.url:
         parser.error("either --url or --spawn is required")
 
+    if (args.trace_out or args.supervised) and not args.spawn:
+        parser.error("--trace-out and --supervised require --spawn")
+
     trace = make_trace(args.seed, args.requests, dup_rate=args.dup_rate)
     spawned = None
     if args.spawn:
+        from repro.config import ServiceConfig
         from repro.experiments.runner import Runner
         from repro.serve import ServerThread
-        spawned = ServerThread(runner=Runner(jobs=args.jobs)).start()
+        config = None
+        if args.trace_out:
+            config = ServiceConfig(port=0, trace=True)
+        runner = Runner(jobs=args.jobs,
+                        supervisor=True if args.supervised else None)
+        spawned = ServerThread(runner=runner, config=config).start()
         host, port = spawned.host, spawned.port
     else:
         split = urlsplit(args.url)
@@ -234,7 +251,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             host, port, "GET", "/metrics", timeout=args.timeout))
     finally:
         if spawned is not None:
+            tracer = (spawned.server.service.tracer
+                      if spawned.server is not None else None)
             spawned.stop()
+            if args.trace_out and tracer is not None:
+                path = tracer.write(args.trace_out)
+                print(f"[loadgen] wrote {len(tracer)} span(s) to {path}",
+                      file=sys.stderr)
 
     summary = summarize(records, metrics if isinstance(metrics, dict)
                         else {})

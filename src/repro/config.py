@@ -284,6 +284,12 @@ class ServiceConfig:
     #: graceful-drain budget: seconds a SIGTERM'd service waits for
     #: in-flight jobs before shutting down anyway
     drain_timeout_s: float = 30.0
+    #: request-scoped causal tracing (repro.obs.trace): every admitted
+    #: job gets a root span whose context rides through the Runner into
+    #: the worker processes.  Off (the default) keeps the serving stack
+    #: on its untraced fast path — responses, journal records, and wire
+    #: payloads stay byte-identical to the pre-tracing service.
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.max_queue < 1:

@@ -26,6 +26,7 @@ from repro.config import PROTOCOLS, MachineConfig
 from repro.machine.system import System
 from repro.obs.collect import (cache_totals_from, fabric_stats_from,
                                run_registry)
+from repro.obs.trace import current_scope
 from repro.runtime.executor import TaskExecutor
 from repro.runtime.sync import SyncRegistry
 from repro.runtime.task import ROLE_A, ROLE_NORMAL, ROLE_R, TaskContext
@@ -214,6 +215,15 @@ def run_mode(workload, config: MachineConfig, mode: str,
         config = config.with_overrides(n_cmps=1)
     metrics = metrics or config.metrics
 
+    # Ambient span scope (repro.obs.trace): when a tracer is bound —
+    # e.g. by a serving-stack worker — the run's phases become child
+    # spans of the request that caused it.  Off (the default), each
+    # phase boundary costs exactly one `is None` test.
+    scope = current_scope()
+    span_tracer, span_parent = scope if scope is not None else (None, None)
+    phase_span = (span_tracer.start_span("engine.setup", parent=span_parent)
+                  if span_tracer is not None else None)
+
     slip = mode == SLIPSTREAM
     system = System(config, classify_requests=slip, trace=trace,
                     check=check or config.check, metrics=metrics,
@@ -235,8 +245,16 @@ def run_mode(workload, config: MachineConfig, mode: str,
     # (Workload.traceable); others keep the generator path, as does
     # compile_tape=False (the differential-testing oracle).
     use_tape = config.compile_tape and getattr(workload, "traceable", True)
+    if phase_span is not None:
+        phase_span.end()
+        phase_span = span_tracer.start_span("engine.tape_compile",
+                                            parent=span_parent,
+                                            enabled=use_tape)
     tape_cache = (TapeCache(workload, n_tasks, system.space.line_of)
                   if use_tape else None)
+    if phase_span is not None:
+        phase_span.end()
+        phase_span = None
 
     executors: List[TaskExecutor] = []
     pairs: List[SlipstreamPair] = []
@@ -326,9 +344,20 @@ def run_mode(workload, config: MachineConfig, mode: str,
                     and not a_exec.process.done:
                 a_exec.process.kill()
 
+    if span_tracer is not None:
+        phase_span = span_tracer.start_span("engine.sim_loop",
+                                            parent=span_parent,
+                                            checked=system.checker is not None)
     Process(system.engine, supervise(), name="run-supervisor")
     system.run(until=max_cycles)
     system.finalize()
+    if phase_span is not None:
+        phase_span.set(exec_cycles=finish_holder.get("cycles",
+                                                     system.engine.now))
+        phase_span.end()
+        phase_span = (span_tracer.start_span("engine.collect",
+                                             parent=span_parent)
+                      if span_tracer is not None else None)
 
     exec_cycles = finish_holder.get("cycles", system.engine.now)
     result = RunResult(workload=workload.name, mode=mode, n_cmps=n_cmps,
@@ -397,6 +426,8 @@ def run_mode(workload, config: MachineConfig, mode: str,
         result.metrics = registry.flat()
     if exporter is not None:
         exporter.write(trace_out)
+    if phase_span is not None:
+        phase_span.end()
     return result
 
 

@@ -144,10 +144,28 @@ def execute_spec(spec: RunSpec) -> RunResult:
     return result
 
 
-def _pool_worker(spec: RunSpec) -> Dict[str, Any]:
+def _pool_worker(spec: RunSpec,
+                 span_ctx: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
     """Pool target: results cross the process boundary as plain dicts
-    (the JSON form — guaranteed picklable, tracer-free)."""
-    return execute_spec(spec).to_dict()
+    (the JSON form — guaranteed picklable, tracer-free).
+
+    With ``span_ctx`` (a serialized :class:`~repro.obs.trace.
+    SpanContext`) the run executes under a ``worker.run`` span nested
+    below the request and the return shape becomes ``{"result": ...,
+    "spans": [...]}`` — the caller unwraps; untraced calls keep the
+    plain-dict shape bit-for-bit.
+    """
+    if span_ctx is None:
+        return execute_spec(spec).to_dict()
+    from repro.obs.trace import SpanContext, Tracer, trace_scope
+    tracer = Tracer(track=f"worker-{os.getpid()}")
+    span = tracer.start_span("worker.run",
+                             parent=SpanContext.from_dict(span_ctx),
+                             pid=os.getpid(), spec=spec.label())
+    with trace_scope(tracer, span):
+        result = execute_spec(spec).to_dict()
+    span.end()
+    return {"result": result, "spans": tracer.span_dicts()}
 
 
 @dataclass
@@ -291,16 +309,29 @@ class Runner:
         self.last_stats: Optional[BatchStats] = None
         self.total_stats = BatchStats(jobs=self.jobs_effective,
                                       jobs_requested=jobs)
+        #: request tracer (repro.obs.trace), set by the serving layer.
+        #: None (the default) keeps every execution leg on its untraced
+        #: fast path — the spine's usual one-`is None`-test contract.
+        self.tracer = None
 
     # ------------------------------------------------------------------
     def run(self, spec: RunSpec) -> RunResult:
         """Single-spec convenience wrapper around :meth:`run_batch`."""
         return self.run_batch([spec])[0]
 
-    def run_batch(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+    def run_batch(self, specs: Sequence[RunSpec],
+                  parents: Optional[Sequence[object]] = None
+                  ) -> List[RunResult]:
         """Execute all ``specs``; returns results in spec order.
 
         Duplicate specs share one simulation (and one result object).
+
+        ``parents`` — aligned with ``specs`` — carries per-request
+        :class:`~repro.obs.trace.SpanContext` objects (or ``None``
+        holes) when a tracer is attached; the spec is *never* touched
+        (trace identity must not leak into content-addressed cache
+        keys), so context flows beside the specs, first-submitter-wins
+        across in-batch duplicates.
         """
         started = time.perf_counter()
         if self.config_overrides:
@@ -310,6 +341,13 @@ class Runner:
                            jobs_requested=self.jobs)
         results: Dict[RunSpec, RunResult] = {}
 
+        tracer = self.tracer
+        parent_map: Dict[RunSpec, object] = {}
+        if tracer is not None and parents is not None:
+            for spec, ctx in zip(specs, parents):
+                if ctx is not None and spec not in parent_map:
+                    parent_map[spec] = ctx
+
         pending: List[RunSpec] = []
         for spec in specs:
             if spec in results or spec in pending:
@@ -318,6 +356,10 @@ class Runner:
             if memoized is not None:
                 results[spec] = memoized
                 stats.memo_hits += 1
+                if tracer is not None:
+                    tracer.start_span("runner.memo_hit",
+                                      parent=parent_map.get(spec),
+                                      spec=spec.label()).end()
             else:
                 pending.append(spec)
         stats.unique = len(pending) + stats.memo_hits
@@ -329,23 +371,41 @@ class Runner:
                 if cached is not None:
                     results[spec] = cached
                     stats.cache_hits += 1
+                    if tracer is not None:
+                        tracer.start_span("runner.cache_hit",
+                                          parent=parent_map.get(spec),
+                                          spec=spec.label()).end()
                 else:
                     misses.append(spec)
         else:
             misses = pending
 
         if self.pool is not None and misses:
-            self._execute_supervised(misses, results, stats)
+            self._execute_supervised(misses, results, stats, parent_map)
         elif len(misses) > 1 and self.jobs > 1:
-            self._execute_pooled(misses, results, stats)
+            self._execute_pooled(misses, results, stats, parent_map)
         else:
             for spec in misses:
+                span = (tracer.start_span("runner.execute",
+                                          parent=parent_map.get(spec),
+                                          spec=spec.label())
+                        if tracer is not None else None)
                 try:
-                    results[spec] = execute_spec(spec)
+                    if span is not None:
+                        from repro.obs.trace import trace_scope
+                        with trace_scope(tracer, span):
+                            results[spec] = execute_spec(spec)
+                    else:
+                        results[spec] = execute_spec(spec)
                 except Exception as exc:
                     if self.fail_fast:
                         raise
                     results[spec] = self._error_result(spec, exc)
+                    if span is not None:
+                        span.event("error", type=type(exc).__name__)
+                finally:
+                    if span is not None:
+                        span.end()
         stats.executed = len(misses)
         stats.failed = sum(1 for spec in misses
                            if results[spec].error is not None)
@@ -368,8 +428,11 @@ class Runner:
     # ------------------------------------------------------------------
     def _execute_supervised(self, misses: List[RunSpec],
                             results: Dict[RunSpec, RunResult],
-                            stats: BatchStats) -> None:
-        wave_results, wave = self.pool.run_wave(misses)
+                            stats: BatchStats,
+                            parent_map: Optional[Dict[RunSpec, object]]
+                            = None) -> None:
+        wave_results, wave = self.pool.run_wave(misses, parents=parent_map,
+                                                tracer=self.tracer)
         stats.retried += wave.retried
         for spec in misses:
             result = wave_results[spec]
@@ -384,11 +447,18 @@ class Runner:
     # ------------------------------------------------------------------
     def _execute_pooled(self, misses: List[RunSpec],
                         results: Dict[RunSpec, RunResult],
-                        stats: BatchStats) -> None:
+                        stats: BatchStats,
+                        parent_map: Optional[Dict[RunSpec, object]]
+                        = None) -> None:
         remaining = list(misses)
         attempt = 0
         while remaining:
-            crashed = self._pool_round(remaining, results, attempt)
+            # The 3-arg call is the seam tests stub; the parent map only
+            # rides along when tracing actually supplied one.
+            crashed = (self._pool_round(remaining, results, attempt,
+                                        parent_map)
+                       if parent_map else
+                       self._pool_round(remaining, results, attempt))
             if not crashed:
                 return
             if attempt >= self.retries:
@@ -413,7 +483,9 @@ class Runner:
 
     def _pool_round(self, specs: List[RunSpec],
                     results: Dict[RunSpec, RunResult],
-                    attempt: int) -> List[RunSpec]:
+                    attempt: int,
+                    parent_map: Optional[Dict[RunSpec, object]]
+                    = None) -> List[RunSpec]:
         """Run ``specs`` through one fresh pool; returns the specs lost
         to crashed workers (the caller decides whether to retry them).
 
@@ -426,9 +498,17 @@ class Runner:
         """
         crashed: List[RunSpec] = []
         workers = min(self.jobs_effective, len(specs))
+        parent_map = parent_map or {}
+
+        def _ctx_of(spec: RunSpec) -> Optional[Dict[str, Any]]:
+            if self.tracer is None:
+                return None
+            parent = parent_map.get(spec)
+            return parent.to_dict() if parent is not None else None
+
         pool = ProcessPoolExecutor(max_workers=workers)
         try:
-            future_spec = {pool.submit(_pool_worker, spec): spec
+            future_spec = {pool.submit(_pool_worker, spec, _ctx_of(spec)): spec
                            for spec in specs}
             not_done = set(future_spec)
             while not_done:
@@ -454,7 +534,13 @@ class Runner:
                 for future in done:
                     spec = future_spec[future]
                     try:
-                        results[spec] = RunResult.from_dict(future.result())
+                        payload = future.result()
+                        if (isinstance(payload, dict) and "spans" in payload
+                                and "result" in payload):
+                            if self.tracer is not None:
+                                self.tracer.adopt(payload["spans"])
+                            payload = payload["result"]
+                        results[spec] = RunResult.from_dict(payload)
                     except BrokenProcessPool:
                         crashed.append(spec)
                     except Exception as exc:

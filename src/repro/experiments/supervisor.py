@@ -176,8 +176,33 @@ class CircuitBreaker:
 # ----------------------------------------------------------------------
 def _worker_main(conn, spec, key: str, attempt: int,
                  rss_limit_mb: Optional[int],
-                 chaos_args: Optional[Dict[str, object]]) -> None:
-    """Child entry: apply limits, maybe inject chaos, run, report."""
+                 chaos_args: Optional[Dict[str, object]],
+                 span_ctx: Optional[Dict[str, object]] = None) -> None:
+    """Child entry: apply limits, maybe inject chaos, run, report.
+
+    ``span_ctx`` (a serialized :class:`~repro.obs.trace.SpanContext`)
+    reconstitutes the parent request's trace in this process: the run
+    executes under a ``worker.run`` span nested below it, the engine
+    driver's phase spans nest below that (via the ambient trace scope),
+    and the finished spans ship home *inside* the pipe payload —
+    ``("ok", {"result": ..., "spans": [...]})`` instead of the plain
+    ``("ok", result)`` shape used when tracing is off, so untraced
+    waves stay byte-identical to the pre-tracing protocol.
+    """
+    tracer = span = None
+    if span_ctx is not None:
+        from repro.obs.trace import SpanContext, Tracer
+        tracer = Tracer(track=f"worker-{os.getpid()}")
+        span = tracer.start_span(
+            "worker.run", parent=SpanContext.from_dict(span_ctx),
+            pid=os.getpid(), attempt=attempt + 1, spec=spec.label())
+
+    def _payload(data: Dict[str, object]) -> Dict[str, object]:
+        if tracer is None:
+            return data
+        span.end()
+        return dict(data, spans=tracer.span_dicts())
+
     try:
         if rss_limit_mb is not None:
             import resource
@@ -191,18 +216,27 @@ def _worker_main(conn, spec, key: str, attempt: int,
                 while True:
                     time.sleep(3600)
         from repro.experiments.runner import execute_spec
-        conn.send(("ok", execute_spec(spec).to_dict()))
+        if tracer is not None:
+            from repro.obs.trace import trace_scope
+            with trace_scope(tracer, span):
+                result = execute_spec(spec).to_dict()
+            span.end()
+            conn.send(("ok", {"result": result,
+                              "spans": tracer.span_dicts()}))
+        else:
+            conn.send(("ok", execute_spec(spec).to_dict()))
     except MemoryError:
         try:
-            conn.send(("error", {"type": "MemoryError",
-                                 "message": f"address-space limit of "
-                                            f"{rss_limit_mb} MiB exceeded"}))
+            conn.send(("error", _payload(
+                {"type": "MemoryError",
+                 "message": f"address-space limit of "
+                            f"{rss_limit_mb} MiB exceeded"})))
         except Exception:                              # pragma: no cover
             pass
     except BaseException as exc:
         try:
-            conn.send(("error", {"type": type(exc).__name__,
-                                 "message": str(exc)}))
+            conn.send(("error", _payload(
+                {"type": type(exc).__name__, "message": str(exc)})))
         except Exception:                              # pragma: no cover
             pass
     finally:
@@ -239,9 +273,9 @@ class WaveStats:
 
 class _JobState:
     __slots__ = ("spec", "key", "attempt", "ready_at", "process", "conn",
-                 "deadline")
+                 "deadline", "span")
 
-    def __init__(self, spec, key: str):
+    def __init__(self, spec, key: str, span=None):
         self.spec = spec
         self.key = key
         self.attempt = 0
@@ -249,6 +283,9 @@ class _JobState:
         self.process = None
         self.conn = None
         self.deadline: Optional[float] = None
+        #: supervisor.job span (None when tracing is off); spawn/crash/
+        #: hang/retry/breaker transitions are recorded on it as events
+        self.span = span
 
 
 class SupervisedPool:
@@ -277,6 +314,8 @@ class SupervisedPool:
         self._recent: deque = deque(maxlen=self.config.degrade_window)
         self.degraded = False
         self._ctx = _mp_context()
+        #: wave-scoped tracer (set by run_wave when tracing is on)
+        self._tracer = None
 
     # ------------------------------------------------------------------
     # Health gate
@@ -305,21 +344,38 @@ class SupervisedPool:
     # ------------------------------------------------------------------
     # Wave execution
     # ------------------------------------------------------------------
-    def run_wave(self, specs) -> Tuple[Dict[object, RunResult], WaveStats]:
+    def run_wave(self, specs, parents=None,
+                 tracer=None) -> Tuple[Dict[object, RunResult], WaveStats]:
         """Execute unique ``specs``; returns ``(results_by_spec, stats)``.
 
         Every spec gets a result: real, or a structured error
         (``WorkerCrash`` / ``Timeout`` / ``CircuitOpen`` / the child's
         own exception type).
+
+        ``parents`` (spec -> :class:`~repro.obs.trace.SpanContext`) and
+        ``tracer`` arm tracing: each spec gets a ``supervisor.job`` span
+        nested under its request, the span's context is serialized into
+        the worker process, and spans finished worker-side are adopted
+        back onto ``tracer`` when the result arrives.
         """
         stats = WaveStats(jobs=len(specs))
         results: Dict[object, RunResult] = {}
         pending: List[_JobState] = []
+        self._tracer = tracer
+        parents = parents or {}
         for spec in specs:
-            job = _JobState(spec, spec.key())
+            span = None
+            if tracer is not None:
+                span = tracer.start_span("supervisor.job",
+                                         parent=parents.get(spec),
+                                         spec=spec.label())
+            job = _JobState(spec, spec.key(), span=span)
             if not self.breaker.allow(job.key):
                 stats.breaker_short_circuits += 1
                 self.counts["breaker_short_circuits"] += 1
+                if job.span is not None:
+                    job.span.event("breaker_short_circuit", key=job.key)
+                    job.span.set(outcome="CircuitOpen").end()
                 results[spec] = self._error_result(
                     spec, "CircuitOpen",
                     f"circuit breaker open for {spec.label()} after "
@@ -357,13 +413,18 @@ class SupervisedPool:
             pending.remove(job)
             parent_conn, child_conn = self._ctx.Pipe(duplex=False)
             chaos_args = self.chaos.to_args() if self.chaos else None
+            span_ctx = (job.span.context.to_dict()
+                        if job.span is not None else None)
             process = self._ctx.Process(
                 target=_worker_main,
                 args=(child_conn, job.spec, job.key, job.attempt,
-                      self.config.rss_limit_mb, chaos_args),
+                      self.config.rss_limit_mb, chaos_args, span_ctx),
                 daemon=True)
             process.start()
             child_conn.close()
+            if job.span is not None:
+                job.span.event("spawn", pid=process.pid,
+                               attempt=job.attempt + 1)
             job.process, job.conn = process, parent_conn
             if self.config.wall_limit_s is not None:
                 job.deadline = self.clock() + self.config.wall_limit_s
@@ -384,17 +445,25 @@ class SupervisedPool:
             if kind == "ok":
                 self.breaker.record_success(job.key)
                 self._note_outcome(False)
+                payload = self._unwrap_traced(job, payload)
                 results[job.spec] = RunResult.from_dict(payload)
+                if job.span is not None:
+                    job.span.set(outcome="ok").end()
             elif kind == "error":
                 # Deterministic child exception: no retry, and not a
                 # worker death — the worker itself behaved, so the
                 # breaker ignores it and the health gate counts it as a
                 # clean outcome.
                 self._note_outcome(False)
+                payload = self._unwrap_traced(job, payload, key="type")
                 results[job.spec] = self._error_result(
                     job.spec, payload.get("type", "Error"),
                     payload.get("message", ""), job.attempt + 1)
                 stats.failed += 1
+                if job.span is not None:
+                    job.span.event("worker_error",
+                                   type=payload.get("type", "Error"))
+                    job.span.set(outcome="error").end()
             else:                         # "crash" | "hang"
                 died_hanging = kind == "hang"
                 if died_hanging:
@@ -406,6 +475,11 @@ class SupervisedPool:
                 tripped = self.breaker.record_failure(job.key)
                 if tripped:
                     self.counts["breaker_trips"] += 1
+                if job.span is not None:
+                    job.span.event("hang" if died_hanging else "crash",
+                                   attempt=job.attempt + 1)
+                    if tripped:
+                        job.span.event("breaker_open", key=job.key)
                 self._note_outcome(True)
                 if died_hanging:
                     # A hang consumed its full wall budget; retrying
@@ -416,6 +490,8 @@ class SupervisedPool:
                         f"wall-clock limit and was killed",
                         job.attempt + 1)
                     stats.failed += 1
+                    if job.span is not None:
+                        job.span.set(outcome="Timeout").end()
                 else:
                     allowed = self.breaker.allow(job.key)
                     if job.attempt < self.config.retries and allowed:
@@ -426,6 +502,11 @@ class SupervisedPool:
                             self.config.retry_backoff_s
                             * 2 ** (job.attempt - 1))
                         job.process = job.conn = job.deadline = None
+                        if job.span is not None:
+                            job.span.event(
+                                "retry", attempt=job.attempt + 1,
+                                backoff_s=self.config.retry_backoff_s
+                                * 2 ** (job.attempt - 1))
                         pending.append(job)
                     else:
                         reason = ("circuit breaker opened" if not allowed
@@ -436,7 +517,23 @@ class SupervisedPool:
                             f"{job.spec.label()} ({reason})",
                             job.attempt + 1)
                         stats.failed += 1
+                        if job.span is not None:
+                            job.span.set(outcome="WorkerCrash",
+                                         reason=reason).end()
         return progressed
+
+    def _unwrap_traced(self, job: _JobState, payload, key: str = "result"):
+        """Undo the traced pipe-payload wrapping: adopt the worker's
+        shipped spans onto the wave tracer and return the inner payload.
+        Untraced jobs pass through untouched (old wire shape)."""
+        if job.span is None or not isinstance(payload, dict):
+            return payload
+        spans = payload.pop("spans", None)
+        if spans and self._tracer is not None:
+            self._tracer.adopt(spans)
+        if key == "result" and "result" in payload:
+            return payload["result"]
+        return payload
 
     def _check_job(self, job: _JobState):
         """``None`` while still running, else ``(kind, payload)``."""

@@ -40,6 +40,8 @@ from repro.obs.export import (PerfettoExporter, validate_perfetto,
                               write_metrics_csv, write_metrics_json)
 from repro.obs.registry import (Counter, Gauge, Histogram, MetricsRegistry,
                                 series_name)
+from repro.obs.trace import (NOOP_SPAN, Span, SpanContext, Tracer,
+                             current_scope, trace_scope)
 
 #: the event categories the pre-spine Tracer recorded; the legacy tracer
 #: subscription is restricted to these so traced/checked runs see exactly
@@ -155,11 +157,17 @@ __all__ = [
     "Histogram",
     "LEGACY_TRACE_CATEGORIES",
     "MetricsRegistry",
+    "NOOP_SPAN",
     "ObsBus",
     "Observability",
     "PerfettoExporter",
     "Probe",
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "current_scope",
     "series_name",
+    "trace_scope",
     "validate_perfetto",
     "write_metrics_csv",
     "write_metrics_json",

@@ -1,0 +1,289 @@
+"""Offline analysis of trace and benchmark artifacts.
+
+Three operations, shared between ``python -m repro.obs`` and the
+benchmark scripts:
+
+* **report** — read one merged Perfetto trace (a ``--trace-out`` file)
+  and break a request's wall-clock time down by span name: count,
+  total/mean/max milliseconds, and the tracks (processes) each span ran
+  on.  This is the textual rendering of what the Perfetto UI shows —
+  where a served request's latency actually went;
+* **diff** — compare two artifacts of the same kind (two traces, or two
+  flat-metrics JSON exports) and tabulate per-key deltas.  The format
+  is auto-detected (a Chrome trace carries ``traceEvents``; a metrics
+  export is a flat name→number mapping);
+* **bench** — evaluate committed ``BENCH_*.json`` snapshots against the
+  repository's perf contracts (filename-keyed rules below) and report
+  pass/fail per rule.  ``scripts/bench_snapshot.py`` calls the same
+  :func:`check_snapshot` right after writing a snapshot, so the gate a
+  snapshot must pass in CI is the gate it was born under — the rules
+  live here, once, instead of being duplicated as ad-hoc ``SystemExit``
+  checks per benchmark leg.
+
+The rules (thresholds are on *recorded* snapshot fields, so re-running
+the gate on a committed file is deterministic):
+
+===============  ====================================================
+snapshot         contract
+===============  ====================================================
+BENCH_runner     warm cache executes 0 simulations; serial, parallel,
+                 and warm checksums are identical
+BENCH_hotpath    op-tape replay at least breaks even vs the generator
+                 path (``speedup_vs_tape_off >= 1.0``)
+BENCH_proto      protocol-table dispatch costs <= 10% over the
+                 generator oracle (``overhead_vs_proto_off``)
+BENCH_obs        obs-off micro within 15% noise of the committed
+                 runner baseline (``obs_off_vs_baseline``)
+BENCH_trace      spans-off micro within 15% noise of the committed
+                 runner baseline (``spans_off_vs_baseline``) — the
+                 zero-overhead contract for request tracing
+===============  ====================================================
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+#: dispatch overhead budget for the protocol-table engine (PR 8's gate)
+PROTO_OVERHEAD_MAX = 0.10
+#: machine-noise band for "feature off must cost nothing" comparisons
+#: against a snapshot committed on (possibly) different hardware
+NOISE_MAX = 0.15
+
+
+# ----------------------------------------------------------------------
+# Loading and format detection
+# ----------------------------------------------------------------------
+def load_artifact(path: Union[str, Path]):
+    return json.loads(Path(path).read_text())
+
+
+def is_trace(doc) -> bool:
+    """Chrome/Perfetto trace vs anything else (flat metrics, bench)."""
+    return isinstance(doc, dict) and isinstance(doc.get("traceEvents"), list)
+
+
+# ----------------------------------------------------------------------
+# report: per-span latency breakdown of one merged trace
+# ----------------------------------------------------------------------
+def span_breakdown(doc: dict) -> Dict[str, dict]:
+    """Aggregate a trace's ``X`` slices by span name.
+
+    Returns ``{name: {count, total_us, mean_us, max_us, tracks}}``,
+    ``tracks`` being the sorted process-track names the span appeared
+    on (``service``, ``worker-<pid>``, ...).
+    """
+    process_names: Dict[int, str] = {}
+    for event in doc.get("traceEvents", ()):
+        if event.get("ph") == "M" and event.get("name") == "process_name":
+            process_names[event["pid"]] = event["args"]["name"]
+    rows: Dict[str, dict] = {}
+    for event in doc.get("traceEvents", ()):
+        if event.get("ph") != "X":
+            continue
+        name = str(event.get("name"))
+        dur = int(event.get("dur", 0))
+        row = rows.setdefault(name, {"count": 0, "total_us": 0,
+                                     "max_us": 0, "tracks": set()})
+        row["count"] += 1
+        row["total_us"] += dur
+        row["max_us"] = max(row["max_us"], dur)
+        track = process_names.get(event.get("pid"))
+        if track is not None:
+            row["tracks"].add(track)
+    for row in rows.values():
+        row["mean_us"] = row["total_us"] / row["count"] if row["count"] else 0
+        row["tracks"] = sorted(row["tracks"])
+    return rows
+
+
+def trace_ids(doc: dict) -> List[str]:
+    """Distinct trace_ids in a merged trace, in first-seen order."""
+    seen: Dict[str, None] = {}
+    for event in doc.get("traceEvents", ()):
+        if event.get("ph") != "X":
+            continue
+        trace_id = (event.get("args") or {}).get("trace_id")
+        if trace_id:
+            seen.setdefault(str(trace_id), None)
+    return list(seen)
+
+
+def report_text(doc: dict) -> str:
+    """The span-breakdown table, widest consumers of time first."""
+    rows = span_breakdown(doc)
+    ids = trace_ids(doc)
+    lines = [f"{len(ids)} trace(s), {sum(r['count'] for r in rows.values())} "
+             f"span(s), {len(rows)} distinct name(s)",
+             "",
+             f"{'span':<24} {'count':>6} {'total ms':>10} {'mean ms':>9} "
+             f"{'max ms':>9}  tracks"]
+    for name in sorted(rows, key=lambda n: -rows[n]["total_us"]):
+        row = rows[name]
+        lines.append(
+            f"{name:<24} {row['count']:>6} {row['total_us'] / 1000:>10.3f} "
+            f"{row['mean_us'] / 1000:>9.3f} {row['max_us'] / 1000:>9.3f}  "
+            + ",".join(row["tracks"]))
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# diff: two artifacts of the same kind -> per-key delta table
+# ----------------------------------------------------------------------
+def _numeric_view(doc) -> Dict[str, float]:
+    """A comparable flat mapping for either artifact format."""
+    if is_trace(doc):
+        return {f"{name}.total_ms": round(row["total_us"] / 1000, 3)
+                for name, row in span_breakdown(doc).items()}
+    if isinstance(doc, dict):
+        return {key: float(value) for key, value in doc.items()
+                if isinstance(value, (int, float))
+                and not isinstance(value, bool)}
+    raise ValueError("unsupported artifact: expected a Chrome trace or a "
+                     "flat metrics JSON object")
+
+
+def diff_rows(a, b) -> List[Tuple[str, Optional[float], Optional[float],
+                                  Optional[float]]]:
+    """``(key, a_value, b_value, pct_change)`` for every key in either
+    artifact; ``None`` marks a key absent on one side or an undefined
+    percentage (zero base)."""
+    left, right = _numeric_view(a), _numeric_view(b)
+    rows = []
+    for key in sorted(set(left) | set(right)):
+        va, vb = left.get(key), right.get(key)
+        pct = None
+        if va is not None and vb is not None and va != 0:
+            pct = (vb - va) / abs(va)
+        rows.append((key, va, vb, pct))
+    return rows
+
+
+def diff_text(a, b, labels: Tuple[str, str] = ("a", "b"),
+              threshold: float = 0.0) -> str:
+    """Render the delta table; with ``threshold`` > 0 only rows whose
+    relative change exceeds it (or that exist on one side only) appear."""
+    def fmt(value: Optional[float]) -> str:
+        return "-" if value is None else f"{value:.6g}"
+
+    lines = [f"{'key':<44} {labels[0]:>12} {labels[1]:>12} {'change':>9}"]
+    shown = 0
+    for key, va, vb, pct in diff_rows(a, b):
+        if threshold > 0 and pct is not None and abs(pct) <= threshold \
+                and va is not None and vb is not None:
+            continue
+        change = "-" if pct is None else f"{pct:+.1%}"
+        lines.append(f"{key:<44} {fmt(va):>12} {fmt(vb):>12} {change:>9}")
+        shown += 1
+    if shown == 0:
+        lines.append(f"(no key changed by more than {threshold:.0%})")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# bench: filename-keyed perf contracts over BENCH_*.json snapshots
+# ----------------------------------------------------------------------
+@dataclass
+class Check:
+    """One evaluated rule of one snapshot."""
+
+    snapshot: str
+    rule: str
+    ok: bool
+    detail: str
+
+    def line(self) -> str:
+        return (f"{'PASS' if self.ok else 'FAIL'}  {self.snapshot}: "
+                f"{self.rule} ({self.detail})")
+
+
+def _check_runner(data: dict) -> List[Tuple[str, bool, str]]:
+    warm = data.get("warm") or {}
+    simulated = warm.get("simulated")
+    checks = [("warm cache executes zero simulations",
+               simulated == 0, f"simulated={simulated}")]
+    sums = {leg: (data.get(leg) or {}).get("checksum")
+            for leg in ("cold_serial", "cold_parallel", "warm")}
+    present = {v for v in sums.values() if v is not None}
+    checks.append(("checksums identical across execution paths",
+                   len(present) == 1,
+                   ", ".join(f"{leg}={value}"
+                             for leg, value in sums.items())))
+    return checks
+
+
+def _check_hotpath(data: dict) -> List[Tuple[str, bool, str]]:
+    micro = data.get("engine_micro") or {}
+    speedup = micro.get("speedup_vs_tape_off")
+    return [("op-tape replay at least breaks even",
+             speedup is not None and speedup >= 1.0,
+             f"speedup_vs_tape_off={speedup}")]
+
+
+def _check_proto(data: dict) -> List[Tuple[str, bool, str]]:
+    micro = data.get("engine_micro") or {}
+    overhead = micro.get("overhead_vs_proto_off")
+    return [(f"protocol-table dispatch overhead <= "
+             f"{PROTO_OVERHEAD_MAX:.0%}",
+             overhead is not None and overhead <= PROTO_OVERHEAD_MAX,
+             f"overhead_vs_proto_off={overhead}")]
+
+
+def _noise_rule(field: str) -> Callable[[dict], List[Tuple[str, bool, str]]]:
+    def rule(data: dict) -> List[Tuple[str, bool, str]]:
+        value = data.get(field)
+        if value is None:
+            # No committed baseline was present at snapshot time; the
+            # contract is then unverifiable, not violated.
+            return [(f"{field} <= {NOISE_MAX:.0%}", True,
+                     f"{field} absent (no baseline)")]
+        return [(f"{field} <= {NOISE_MAX:.0%}", value <= NOISE_MAX,
+                 f"{field}={value}")]
+    return rule
+
+
+#: basename prefix (sans extension) -> rule evaluator
+RULES: Dict[str, Callable[[dict], List[Tuple[str, bool, str]]]] = {
+    "BENCH_runner": _check_runner,
+    "BENCH_hotpath": _check_hotpath,
+    "BENCH_proto": _check_proto,
+    "BENCH_obs": _noise_rule("obs_off_vs_baseline"),
+    "BENCH_trace": _noise_rule("spans_off_vs_baseline"),
+}
+
+
+def check_snapshot(name: Union[str, Path], data: dict) -> List[Check]:
+    """Evaluate the rules registered for ``name`` (matched on basename
+    prefix).  Unknown snapshots yield no checks — new benchmarks are
+    not failed by omission."""
+    stem = Path(name).stem
+    for prefix, evaluate in RULES.items():
+        if stem.startswith(prefix):
+            return [Check(str(name), rule, ok, detail)
+                    for rule, ok, detail in evaluate(data)]
+    return []
+
+
+def check_paths(paths: Sequence[Union[str, Path]]) -> List[Check]:
+    """Load and evaluate every snapshot file; unreadable files fail."""
+    checks: List[Check] = []
+    for path in paths:
+        try:
+            data = load_artifact(path)
+        except (OSError, ValueError) as exc:
+            checks.append(Check(str(path), "snapshot is readable JSON",
+                                False, str(exc)))
+            continue
+        checks.extend(check_snapshot(path, data))
+    return checks
+
+
+def enforce(name: Union[str, Path], data: dict) -> None:
+    """Raise ``SystemExit`` listing every failed rule (benchmark scripts
+    call this right after writing a snapshot)."""
+    failed = [check for check in check_snapshot(name, data) if not check.ok]
+    if failed:
+        raise SystemExit("\n".join(check.line() for check in failed))

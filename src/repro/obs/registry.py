@@ -113,11 +113,20 @@ class Histogram:
         located, so a quantile that falls in the overflow bucket returns
         ``inf`` — a budget check against a finite bound then fails
         loudly instead of silently under-reporting.
+
+        Degenerate histograms still return a defined, JSON-able value:
+        an *empty* histogram (no observations yet) answers ``0.0`` for
+        every ``q``, and a bucket-less histogram (``buckets=()``) falls
+        back to its mean — so gauges derived at scrape time (the
+        service's p50/p95) are schema-stable from the very first
+        ``/metrics`` scrape, before any request has completed.
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         if self.count == 0:
             return 0.0
+        if not self.buckets:
+            return float(self.mean)
         rank = q * self.count
         running = 0
         lower: Number = 0

@@ -78,6 +78,10 @@ def build_parser() -> argparse.ArgumentParser:
                              f"(default: {DEFAULT_CACHE_DIR})")
     parser.add_argument("--verbose", action="store_true",
                         help="stream serve.* bus events to stderr")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="enable request-scoped causal tracing and "
+                             "write the merged Perfetto trace (service + "
+                             "worker tracks) to PATH at shutdown")
     durability = parser.add_argument_group(
         "durability & supervision",
         "write-ahead job journal, supervised worker pool, chaos")
@@ -124,7 +128,8 @@ def make_server(args) -> ServiceServer:
         batch_window_s=args.batch_window, max_batch=args.max_batch,
         job_timeout_s=args.timeout, journal_dir=args.journal_dir,
         journal_fsync=not args.no_journal_fsync,
-        drain_timeout_s=args.drain_timeout)
+        drain_timeout_s=args.drain_timeout,
+        trace=args.trace_out is not None)
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     supervisor = None
     if args.supervised:
@@ -189,6 +194,10 @@ async def _amain(args) -> int:
     finally:
         if not drained.is_set():
             await server.stop()
+        if args.trace_out and server.service.tracer is not None:
+            path = server.service.tracer.write(args.trace_out)
+            print(f"[serve] wrote {len(server.service.tracer)} span(s) "
+                  f"to {path}", file=sys.stderr, flush=True)
     return 0
 
 

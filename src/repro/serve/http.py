@@ -106,7 +106,8 @@ class ServiceServer:
             except Shed as exc:
                 response = protocol.error_response(
                     exc.status, exc.reason,
-                    {"Retry-After": f"{exc.retry_after_s:g}"})
+                    {"Retry-After": f"{exc.retry_after_s:g}"},
+                    details={"trace_id": exc.trace_id})
             except Exception as exc:   # pragma: no cover - defensive
                 response = protocol.error_response(
                     500, f"{type(exc).__name__}: {exc}")

@@ -99,6 +99,10 @@ class JournalEntry:
     status: str = ACCEPTED          #: accepted | started | <resolved status>
     resolved: bool = False
     error_type: Optional[str] = None
+    #: trace identity of the accepting request (None when tracing was
+    #: off) — replay re-admits under the same trace_id so a recovered
+    #: job's spans join the original request's trace
+    trace_id: Optional[str] = None
 
 
 @dataclass
@@ -247,9 +251,11 @@ class JobJournal:
                 # A re-acceptance after an earlier resolution re-opens
                 # the key: the latest record wins, in stream order.
                 replay.resolved.pop(key, None)
+                trace_id = record.get("trace_id")
                 replay.unresolved[key] = JournalEntry(
                     key=key, spec=record.get("spec") or {},
-                    client=str(record.get("client", "anon")))
+                    client=str(record.get("client", "anon")),
+                    trace_id=str(trace_id) if trace_id else None)
         elif kind == STARTED:
             entry = replay.unresolved.get(key)
             if entry is not None:
@@ -273,11 +279,21 @@ class JobJournal:
     # Appending
     # ------------------------------------------------------------------
     def accepted(self, key: str, spec: Dict[str, object],
-                 client: str = "anon") -> None:
-        """Write-ahead record: call *before* enqueuing the job."""
-        self._append({"type": ACCEPTED, "key": key, "spec": spec,
-                      "client": client})
-        self._entries[key] = JournalEntry(key=key, spec=spec, client=client)
+                 client: str = "anon",
+                 trace_id: Optional[str] = None) -> None:
+        """Write-ahead record: call *before* enqueuing the job.
+
+        ``trace_id`` is recorded only when tracing supplied one, so an
+        untraced service's journal stays byte-identical to the
+        pre-tracing format.
+        """
+        record = {"type": ACCEPTED, "key": key, "spec": spec,
+                  "client": client}
+        if trace_id is not None:
+            record["trace_id"] = trace_id
+        self._append(record)
+        self._entries[key] = JournalEntry(key=key, spec=spec, client=client,
+                                          trace_id=trace_id)
         self._maybe_rotate()
 
     def started(self, key: str) -> None:
@@ -361,6 +377,8 @@ class JobJournal:
             record = {"type": ACCEPTED, "key": entry.key,
                       "spec": entry.spec, "client": entry.client,
                       "seq": self._seq, "compacted": True}
+            if entry.trace_id is not None:
+                record["trace_id"] = entry.trace_id
             body = json.dumps(record, sort_keys=True,
                               separators=(",", ":")).encode()
             self._fh.write(b"%08x %s\n" % (zlib.crc32(body), body))

@@ -143,9 +143,14 @@ def json_response(status: int, payload,
 
 
 def error_response(status: int, message: str,
-                   extra_headers: Optional[Dict[str, str]] = None) -> bytes:
-    return json_response(status, {"error": {"status": status,
-                                            "message": message}},
+                   extra_headers: Optional[Dict[str, str]] = None,
+                   details: Optional[Dict[str, object]] = None) -> bytes:
+    """``details`` (e.g. the shed request's ``trace_id``) merges into the
+    error object; absent keys leave the payload exactly as before."""
+    error: Dict[str, object] = {"status": status, "message": message}
+    if details:
+        error.update({k: v for k, v in details.items() if v is not None})
+    return json_response(status, {"error": error},
                          extra_headers=extra_headers)
 
 

@@ -59,7 +59,7 @@ from repro.config import ServiceConfig
 from repro.experiments.driver import RunResult
 from repro.experiments.runner import Runner, RunSpec
 from repro.faults.harness import HarnessChaos, SimulatedCrash
-from repro.obs import MetricsRegistry, ObsBus
+from repro.obs import MetricsRegistry, ObsBus, Tracer
 from repro.serve.journal import JobJournal
 
 #: request-latency histogram buckets, milliseconds (simulations run in
@@ -109,18 +109,23 @@ class Shed(Exception):
     """
 
     def __init__(self, reason: str, retry_after_s: float,
-                 status: int = 429):
+                 status: int = 429, trace_id: Optional[str] = None):
         super().__init__(reason)
         self.reason = reason
         self.retry_after_s = retry_after_s
         self.status = status
+        #: trace identity of the shed request (None when tracing is off)
+        #: — the HTTP layer echoes it in the 429/503 error payload so a
+        #: rejected client can still correlate with the server trace
+        self.trace_id = trace_id
 
 
 class Job:
     """One admitted unique spec and everyone waiting on it."""
 
     __slots__ = ("id", "spec", "key", "clients", "future", "status",
-                 "submitted", "coalesced")
+                 "submitted", "coalesced", "span", "wait_span", "exec_span",
+                 "followers")
 
     def __init__(self, job_id: str, spec: RunSpec, key: str, client: str,
                  future: "asyncio.Future[RunResult]"):
@@ -132,6 +137,15 @@ class Job:
         self.status = "queued"
         self.submitted = time.monotonic()
         self.coalesced = 0          #: duplicate submissions attached
+        #: tracing state (all None/empty when the service is untraced):
+        #: the request root span, the open queue-wait child, the open
+        #: wave-execute child, and the coalesced followers' spans (each
+        #: follower gets its own root, linked to this job's trace, plus
+        #: a coalesce-wait child — all closed at resolution)
+        self.span = None
+        self.wait_span = None
+        self.exec_span = None
+        self.followers: List[object] = []
 
     def info(self) -> Dict[str, object]:
         """JSON-able record for ``/runs/{id}``."""
@@ -141,6 +155,8 @@ class Job:
             "key": self.key, "coalesced": self.coalesced,
             "clients": list(self.clients),
         }
+        if self.span is not None:
+            record["trace_id"] = self.span.context.trace_id
         if self.future.done() and not self.future.cancelled():
             record["result"] = self.future.result().to_dict()
         return record
@@ -166,6 +182,15 @@ class SimulationService:
         self.bus = ObsBus(WallClock())
         self.registry = MetricsRegistry()
         self.started = time.monotonic()
+
+        #: request tracer (config.trace): the service owns the merged
+        #: span set — runner- and worker-side spans are adopted into it
+        #: — and renders it with Tracer.to_perfetto at shutdown.  None
+        #: keeps every span site on its one-`is None`-test fast path.
+        self.tracer: Optional[Tracer] = (
+            Tracer(track="service") if self.config.trace else None)
+        if self.tracer is not None:
+            self.runner.tracer = self.tracer
 
         #: write-ahead job journal (None = durability disabled; the
         #: service then behaves exactly as the journal-free layer did)
@@ -252,8 +277,12 @@ class SimulationService:
                 print(f"[serve] journal replay: dropping unreadable spec "
                       f"for key {entry.key[:12]}...: {exc}", file=sys.stderr)
                 continue
-            job = self._admit(spec, entry.client, journal=False)
+            job = self._admit(spec, entry.client, journal=False,
+                              trace_id=entry.trace_id)
             job.status = "recovered"
+            if job.span is not None:
+                job.span.event("recovered", key=entry.key[:12],
+                               journal_status=entry.status)
             recovered += 1
         elapsed_ms = (time.monotonic() - started) * 1000.0
         self.recovered = recovered
@@ -287,7 +316,8 @@ class SimulationService:
                 # the next start re-admits them.
                 self._resolve(job, self._error_result(
                     job.spec, "ServiceStopped",
-                    "service shut down before the job ran"), "failed",
+                    "service shut down before the job ran",
+                    trace_id=self._trace_id(job)), "failed",
                     journal=False)
         if self._journal is not None:
             self._journal.close()
@@ -334,6 +364,17 @@ class SimulationService:
             self._m_coalesced.inc()
             self._p_request(job.id, f"coalesced onto {spec.label()}",
                             client=client)
+            if self.tracer is not None and job.span is not None:
+                # The follower is its own request, so its own trace: a
+                # fresh root linked to the leader's context, plus an
+                # open coalesce-wait child that closes when the leader
+                # resolves everyone.
+                root = self.tracer.start_span(
+                    "serve.request", links=(job.span.context,),
+                    client=client, spec=spec.label(), coalesced_onto=job.id)
+                wait = self.tracer.start_span("serve.coalesce_wait",
+                                              parent=root, leader=job.id)
+                job.followers.extend((wait, root))
             return job, True
         if self.depth >= self.config.max_queue:
             self._shed(spec, client,
@@ -343,7 +384,8 @@ class SimulationService:
         return job, False
 
     def _admit(self, spec: RunSpec, client: str, *,
-               key: Optional[str] = None, journal: bool = True) -> Job:
+               key: Optional[str] = None, journal: bool = True,
+               trace_id: Optional[str] = None) -> Job:
         """Create, journal, and enqueue a new unique job.
 
         The ``accepted`` record is written (and fsynced) *before* any
@@ -352,13 +394,27 @@ class SimulationService:
         is recoverable.  Journal replay calls this with ``journal=False``
         (the record already exists) and bypasses the admission bounds:
         accepted work is never shed.
+
+        ``trace_id`` forces the root span's trace identity — how a
+        replayed job keeps the trace_id its ``accepted`` record carries.
+        (A root span opened here but orphaned by a journal-append
+        failure is simply never finished, so it never reaches the
+        trace file.)
         """
         if key is None:
             key = spec.key()
+        span = admission = None
+        if self.tracer is not None:
+            span = self.tracer.start_span("serve.request", trace_id=trace_id,
+                                          client=client, spec=spec.label())
+            admission = self.tracer.start_span("serve.admission", parent=span,
+                                               journaled=journal)
         if journal and self._journal is not None:
             # Write-ahead: raises on failure (including an injected
             # journal-crash fault) before the job exists anywhere.
-            self._journal.accepted(key, spec.as_dict(), client)
+            self._journal.accepted(
+                key, spec.as_dict(), client,
+                trace_id=span.context.trace_id if span is not None else None)
         job = Job(f"r{next(self._ids):06d}", spec, key, client,
                   asyncio.get_running_loop().create_future())
         self._inflight[key] = job
@@ -368,6 +424,12 @@ class SimulationService:
         self.depth += 1
         self._g_depth.set(self.depth)
         self._queue.put_nowait(job)
+        if span is not None:
+            span.set(job=job.id)
+            admission.end()
+            job.span = span
+            job.wait_span = self.tracer.start_span("serve.queue_wait",
+                                                   parent=span)
         self._p_request(job.id, spec.label(), client=client)
         return job
 
@@ -390,7 +452,18 @@ class SimulationService:
         self._m_shed.inc()
         self._p_shed(spec.label() if spec is not None else "batch",
                      reason, client=client, status=status)
-        raise Shed(reason, self._retry_after(), status=status)
+        trace_id = None
+        if self.tracer is not None:
+            # Shed requests still get a (tiny) trace: the id rides the
+            # 429/503 payload so the client report and the server trace
+            # correlate.
+            span = self.tracer.start_span(
+                "serve.request", client=client,
+                spec=spec.label() if spec is not None else "batch",
+                outcome="shed", status=status, reason=reason).end()
+            trace_id = span.context.trace_id
+        raise Shed(reason, self._retry_after(), status=status,
+                   trace_id=trace_id)
 
     def _retry_after(self) -> float:
         """Configured retry hint with ±``retry_jitter`` uniform noise so
@@ -438,9 +511,9 @@ class SimulationService:
                     break
             await self._execute_wave(wave)
 
-    def _locked_run_batch(self, specs):
+    def _locked_run_batch(self, specs, parents=None):
         with self._runner_lock:
-            results = self.runner.run_batch(specs)
+            results = self.runner.run_batch(specs, parents=parents)
             return results, self.runner.last_stats
 
     async def _execute_wave(self, wave: List[Job]) -> None:
@@ -450,23 +523,38 @@ class SimulationService:
         for job in wave:
             job.status = "running"
             self._journal_note("started", job.key)
+            if job.wait_span is not None:
+                job.wait_span.end()
+                job.wait_span = None
+            if job.span is not None:
+                job.exec_span = self.tracer.start_span(
+                    "serve.wave_execute", parent=job.span,
+                    wave_size=len(wave))
         self._m_batches.inc()
         self._h_occupancy.observe(len(wave))
         self._p_batch("wave", f"{len(wave)} spec(s)",
                       jobs=[job.id for job in wave])
         specs = [job.spec for job in wave]
+        parents = None
+        if self.tracer is not None:
+            parents = [job.exec_span.context if job.exec_span is not None
+                       else None for job in wave]
         try:
             results, stats = await asyncio.wait_for(
-                asyncio.to_thread(self._locked_run_batch, specs),
+                asyncio.to_thread(self._locked_run_batch, specs, parents),
                 self.config.job_timeout_s)
         except asyncio.TimeoutError:
             for job in wave:
                 self._m_timeouts.inc()
                 self._p_timeout(job.id, job.spec.label())
+                if job.exec_span is not None:
+                    job.exec_span.event("watchdog_timeout",
+                                        budget_s=self.config.job_timeout_s)
                 self._resolve(job, self._error_result(
                     job.spec, "Timeout",
                     f"no result within {self.config.job_timeout_s}s "
-                    f"(serve watchdog)"), "timeout")
+                    f"(serve watchdog)", trace_id=self._trace_id(job)),
+                    "timeout")
             return
         self._m_executed.inc(stats.executed)
         self._m_cache_hits.inc(stats.cache_hits)
@@ -485,6 +573,14 @@ class SimulationService:
             return                       # late result of an abandoned wave
         job.status = status
         job.future.set_result(result)
+        if job.span is not None:
+            if job.exec_span is not None:
+                job.exec_span.set(outcome=status).end()
+            if job.wait_span is not None:
+                job.wait_span.end()
+            for span in job.followers:
+                span.set(outcome=status).end()
+            job.span.set(outcome=status).end()
         if journal:
             error = result.error or {}
             self._journal_note("resolved", job.key, status=status,
@@ -530,12 +626,25 @@ class SimulationService:
             self._history.popitem(last=False)
 
     @staticmethod
-    def _error_result(spec: RunSpec, kind: str, message: str) -> RunResult:
-        """Structured failure record in the Runner's error shape."""
+    def _trace_id(job: Job) -> Optional[str]:
+        return job.span.context.trace_id if job.span is not None else None
+
+    @staticmethod
+    def _error_result(spec: RunSpec, kind: str, message: str,
+                      trace_id: Optional[str] = None) -> RunResult:
+        """Structured failure record in the Runner's error shape.
+
+        ``trace_id`` (tracing only) rides inside the error object so a
+        client holding a 504/shutdown failure can find the server-side
+        trace that explains it — absent entirely when tracing is off,
+        keeping the error payload byte-identical.
+        """
+        error = {"type": kind, "message": message, "spec": spec.label()}
+        if trace_id is not None:
+            error["trace_id"] = trace_id
         return RunResult(
             workload=spec.workload, mode=spec.mode, n_cmps=spec.n_cmps,
-            exec_cycles=0, policy=spec.policy,
-            error={"type": kind, "message": message, "spec": spec.label()})
+            exec_cycles=0, policy=spec.policy, error=error)
 
     # ------------------------------------------------------------------
     # Introspection (the HTTP layer renders these)
